@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the Adaptive Search engine's hot path:
+//! incremental swap evaluation, error projection and full sequential solves
+//! of the paper's benchmark models at small sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use as_rng::{default_rng, RandomSource};
+use cbls_core::{AdaptiveSearch, Evaluator};
+use cbls_problems::{AllInterval, CostasArray, MagicSquare, NQueens};
+
+fn bench_cost_if_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_if_swap");
+    let mut rng = default_rng(1);
+
+    let mut magic = MagicSquare::new(10);
+    let perm = rng.permutation(100);
+    let cost = magic.init(&perm);
+    group.bench_function("magic-square-10", |b| {
+        b.iter(|| black_box(magic.cost_if_swap(&perm, cost, 3, 97)))
+    });
+
+    let mut costas = CostasArray::new(18);
+    let perm = rng.permutation(18);
+    let cost = costas.init(&perm);
+    group.bench_function("costas-18", |b| {
+        b.iter(|| black_box(costas.cost_if_swap(&perm, cost, 2, 15)))
+    });
+
+    let mut interval = AllInterval::new(100);
+    let perm = rng.permutation(100);
+    let cost = interval.init(&perm);
+    group.bench_function("all-interval-100", |b| {
+        b.iter(|| black_box(interval.cost_if_swap(&perm, cost, 10, 90)))
+    });
+    group.finish();
+}
+
+fn bench_error_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_on_variable_full_scan");
+    let mut rng = default_rng(2);
+
+    let mut costas = CostasArray::new(18);
+    let perm = rng.permutation(18);
+    let _ = costas.init(&perm);
+    group.bench_function("costas-18", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..18 {
+                acc += costas.cost_on_variable(&perm, i);
+            }
+            black_box(acc)
+        })
+    });
+
+    let mut magic = MagicSquare::new(10);
+    let perm = rng.permutation(100);
+    let _ = magic.init(&perm);
+    group.bench_function("magic-square-10", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..100 {
+                acc += magic.cost_on_variable(&perm, i);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_solve");
+    group.sample_size(10);
+
+    for n in [8usize, 10] {
+        group.bench_with_input(BenchmarkId::new("costas", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut p = CostasArray::new(n);
+                let engine = AdaptiveSearch::tuned_for(&p);
+                black_box(engine.solve(&mut p, &mut default_rng(seed)).stats.iterations)
+            })
+        });
+    }
+
+    group.bench_function("queens-64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut p = NQueens::new(64);
+            let engine = AdaptiveSearch::tuned_for(&p);
+            black_box(engine.solve(&mut p, &mut default_rng(seed)).stats.iterations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cost_if_swap,
+    bench_error_projection,
+    bench_full_solve
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! `cargo bench` target regenerating Figure 1 (CSPLib speedups on HA8000).
+//!
+//! This is a figure-regeneration harness rather than a statistical
+//! micro-benchmark, so it bypasses criterion (`harness = false`) and prints
+//! the same table as `cargo run -p cbls-bench --bin fig1_ha8000`, using a
+//! reduced sample count unless `CBLS_SAMPLES` is set.
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::csplib_figure;
+use cbls_perfmodel::report::default_figure_dir;
+use cbls_perfmodel::Platform;
+
+fn main() {
+    let mut config = ExperimentConfig::from_env();
+    if std::env::var("CBLS_SAMPLES").is_err() {
+        config.samples = 30;
+    }
+    let (table, _) = csplib_figure(&Platform::ha8000(), &config);
+    println!("{}", table.to_ascii());
+    let _ = table.write_csv(default_figure_dir(), "fig1_ha8000_bench");
+}

@@ -1,0 +1,18 @@
+//! `cargo bench` target regenerating Figure 2 (CSPLib speedups on Grid'5000
+//! Suno).  Prints the same table as the `fig2_grid5000` binary with a reduced
+//! sample count unless `CBLS_SAMPLES` is set.
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::csplib_figure;
+use cbls_perfmodel::report::default_figure_dir;
+use cbls_perfmodel::Platform;
+
+fn main() {
+    let mut config = ExperimentConfig::from_env();
+    if std::env::var("CBLS_SAMPLES").is_err() {
+        config.samples = 30;
+    }
+    let (table, _) = csplib_figure(&Platform::grid5000_suno(), &config);
+    println!("{}", table.to_ascii());
+    let _ = table.write_csv(default_figure_dir(), "fig2_grid5000_bench");
+}

@@ -1,0 +1,30 @@
+//! `cargo bench` target regenerating Figure 3 (Costas Array speedups relative
+//! to 32 cores, the paper's log-log "ideal speedup" figure).  Uses CAP 12 and
+//! a reduced sample count unless `CBLS_CAP_ORDER` / `CBLS_SAMPLES` are set.
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::cap_figure;
+use cbls_perfmodel::report::default_figure_dir;
+use cbls_perfmodel::Platform;
+
+fn main() {
+    let mut config = ExperimentConfig::from_env();
+    if std::env::var("CBLS_SAMPLES").is_err() {
+        config.samples = 30;
+    }
+    let order = std::env::var("CBLS_CAP_ORDER")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+    match cap_figure(order, &Platform::ha8000(), &config) {
+        Some((table, result)) => {
+            println!("{}", table.to_ascii());
+            println!(
+                "CoV of sequential runtime: {:.2} (≈1.0 ⇒ the linear-speedup regime)",
+                result.distribution.coefficient_of_variation()
+            );
+            let _ = table.write_csv(default_figure_dir(), "fig3_cap_bench");
+        }
+        None => println!("CAP {order}: no solved sequential runs"),
+    }
+}

@@ -1,0 +1,23 @@
+//! The introduction's motivating claim: constraint-based local search "can
+//! tackle CSP instances far beyond the reach of classical propagation-based
+//! solvers".  Compares Adaptive Search against the backtracking baseline on
+//! growing Costas Array orders.
+//!
+//! ```text
+//! cargo run --release -p cbls-bench --bin baseline_compare
+//! ```
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::baseline_comparison_table;
+use cbls_perfmodel::report::default_figure_dir;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let orders: Vec<usize> = vec![8, 10, 12, 13];
+    let table = baseline_comparison_table(&config, &orders);
+    println!("{}", table.to_ascii());
+    match table.write_csv(default_figure_dir(), "baseline_compare") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 1: speedups of the CSPLib benchmarks on the HA8000 platform model.
+//!
+//! ```text
+//! cargo run --release -p cbls-bench --bin fig1_ha8000
+//! CBLS_SAMPLES=200 cargo run --release -p cbls-bench --bin fig1_ha8000
+//! ```
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::csplib_figure;
+use cbls_perfmodel::report::default_figure_dir;
+use cbls_perfmodel::Platform;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let platform = Platform::ha8000();
+    eprintln!(
+        "collecting {} sequential runs per benchmark (override with CBLS_SAMPLES) ...",
+        config.samples
+    );
+    let (table, results) = csplib_figure(&platform, &config);
+    println!("{}", table.to_ascii());
+    for r in &results {
+        println!(
+            "{:<28} success-rate {:>5.2}  CoV {:>5.2}  local throughput {:>10.0} iters/s",
+            r.benchmark.label(),
+            r.success_rate,
+            r.distribution.coefficient_of_variation(),
+            r.local_throughput
+        );
+    }
+    match table.write_csv(default_figure_dir(), "fig1_ha8000") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 2: speedups of the CSPLib benchmarks on the Grid'5000 (Suno)
+//! platform model, plus the Suno-vs-Helios comparison the paper mentions
+//! ("the speedups on the two Grid'5000 platforms are nearly identical").
+//!
+//! ```text
+//! cargo run --release -p cbls-bench --bin fig2_grid5000
+//! ```
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::csplib_figure;
+use cbls_perfmodel::report::default_figure_dir;
+use cbls_perfmodel::Platform;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    eprintln!(
+        "collecting {} sequential runs per benchmark (override with CBLS_SAMPLES) ...",
+        config.samples
+    );
+
+    let (suno_table, suno) = csplib_figure(&Platform::grid5000_suno(), &config);
+    println!("{}", suno_table.to_ascii());
+    match suno_table.write_csv(default_figure_dir(), "fig2_grid5000_suno") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    let (helios_table, helios) = csplib_figure(&Platform::grid5000_helios(), &config);
+    println!("{}", helios_table.to_ascii());
+    match helios_table.write_csv(default_figure_dir(), "fig2_grid5000_helios") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    // The paper's remark: Suno and Helios speedups are nearly identical, and
+    // perfect-square is the benchmark whose short runs diverge at high core
+    // counts.
+    println!("Suno vs Helios speedup ratio at the largest common core count:");
+    for (s, h) in suno.iter().zip(helios.iter()) {
+        let cores = 128;
+        if let (Some(a), Some(b)) = (s.prediction.speedup_at(cores), h.prediction.speedup_at(cores))
+        {
+            println!(
+                "  {:<28} {:>6} vs {:>6}  (ratio {:.2})",
+                s.benchmark.label(),
+                format!("{a:.1}"),
+                format!("{b:.1}"),
+                a / b
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's headline numbers: "speedups of about 30 with 64 cores, 40
+//! with 128 cores and more than 50 with 256 cores, and linear speedups on
+//! the Costas Array Problem", plus the "bigger benchmark ⇒ better speedup"
+//! observation.
+//!
+//! ```text
+//! cargo run --release -p cbls-bench --bin summary_table
+//! ```
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::{size_scaling_table, summary_table};
+use cbls_perfmodel::report::default_figure_dir;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let cap_order = std::env::var("CBLS_CAP_ORDER")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+
+    let summary = summary_table(&config, cap_order);
+    println!("{}", summary.to_ascii());
+    match summary.write_csv(default_figure_dir(), "summary_headline") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    let scaling = size_scaling_table(&config, 256);
+    println!("{}", scaling.to_ascii());
+    match scaling.write_csv(default_figure_dir(), "summary_size_scaling") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

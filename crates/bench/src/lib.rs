@@ -1,0 +1,26 @@
+//! # cbls-bench — the experiment harness
+//!
+//! Shared machinery used by the figure-regeneration binaries (`src/bin/*`)
+//! and the `cargo bench` targets: collecting sequential runtime
+//! distributions, measuring engine throughput, building platform-model
+//! predictions and emitting the tables that correspond to the paper's
+//! figures.
+//!
+//! | paper artefact | binary | bench target |
+//! |----------------|--------|--------------|
+//! | Figure 1 (speedups on HA8000)            | `fig1_ha8000`     | `fig1_ha8000` |
+//! | Figure 2 (speedups on Grid'5000 Suno)    | `fig2_grid5000`   | `fig2_grid5000` |
+//! | Figure 3 (CAP speedup w.r.t. 32 cores)   | `fig3_cap`        | `fig3_cap` |
+//! | headline claim (≈30/40/50+ at 64/128/256)| `summary_table`   | — |
+//! | CAP sequential hardness ("n=22 ≈ hours") | `cap_scaling`     | — |
+//! | intro claim vs propagation-based solvers | `baseline_compare`| `baseline` |
+//! | engine micro-costs                       | —                 | `engine_micro` |
+//! | design-choice ablations                  | —                 | `ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+
+pub use experiment::{ExperimentConfig, SequentialSample};

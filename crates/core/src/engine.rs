@@ -1,0 +1,692 @@
+//! The Adaptive Search engine.
+//!
+//! Adaptive Search (Codognet & Diaz, SAGA'01 / MIC'03) is a generic,
+//! domain-independent local-search metaheuristic for CSPs.  Its defining
+//! feature is the *error projection*: constraint errors are projected onto
+//! variables, the variable with the highest error is repaired by the best
+//! available swap, and variables that cannot be improved are temporarily
+//! frozen (marked tabu).  When too many variables are frozen the engine
+//! performs a partial reset, and when an iteration budget is exhausted it
+//! restarts from a fresh random configuration.
+//!
+//! The loop below follows the structure of `Ad_Solve` in the original C
+//! framework the paper benchmarks; every divergence is a documented,
+//! configurable knob in [`SearchConfig`].
+
+use std::time::Instant;
+
+use as_rng::RandomSource;
+
+use crate::config::SearchConfig;
+use crate::evaluator::Evaluator;
+use crate::outcome::{SearchOutcome, SearchStats, TerminationReason};
+use crate::stop::StopControl;
+
+/// The Adaptive Search solver.
+///
+/// An `AdaptiveSearch` value is just a configuration; it can be reused to
+/// solve many evaluators, sequentially or from several threads (each call to
+/// [`solve`](AdaptiveSearch::solve) only borrows it immutably).
+///
+/// ```
+/// use as_rng::default_rng;
+/// use cbls_core::{AdaptiveSearch, Evaluator, SearchConfig};
+///
+/// // Cost = number of positions whose value differs from its index.
+/// struct Sort(usize);
+/// impl Evaluator for Sort {
+///     fn size(&self) -> usize { self.0 }
+///     fn init(&mut self, perm: &[usize]) -> i64 { self.cost(perm) }
+///     fn cost(&self, perm: &[usize]) -> i64 {
+///         perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+///     }
+///     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+///         i64::from(perm[i] != i)
+///     }
+/// }
+///
+/// let engine = AdaptiveSearch::new(SearchConfig::default());
+/// let outcome = engine.solve(&mut Sort(16), &mut default_rng(7));
+/// assert!(outcome.solved());
+/// assert_eq!(outcome.solution, (0..16).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveSearch {
+    config: SearchConfig,
+}
+
+impl Default for AdaptiveSearch {
+    fn default() -> Self {
+        Self::new(SearchConfig::default())
+    }
+}
+
+impl AdaptiveSearch {
+    /// Create an engine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SearchConfig::validate`].
+    #[must_use]
+    pub fn new(config: SearchConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SearchConfig: {e}");
+        }
+        Self { config }
+    }
+
+    /// Create an engine with the default configuration refined by the
+    /// problem's own [`Evaluator::tune`] hints — the equivalent of running a
+    /// benchmark of the original C distribution with its shipped parameters.
+    #[must_use]
+    pub fn tuned_for<E: Evaluator + ?Sized>(problem: &E) -> Self {
+        let mut config = SearchConfig::default();
+        problem.tune(&mut config);
+        Self::new(config)
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Solve `eval` with a fresh run (no external stop signal).
+    pub fn solve<E, R>(&self, eval: &mut E, rng: &mut R) -> SearchOutcome
+    where
+        E: Evaluator + ?Sized,
+        R: RandomSource + ?Sized,
+    {
+        self.solve_with_stop(eval, rng, &StopControl::new())
+    }
+
+    /// Solve `eval`, polling `stop` so that a sibling walk (or a timeout) can
+    /// interrupt the run.
+    pub fn solve_with_stop<E, R>(
+        &self,
+        eval: &mut E,
+        rng: &mut R,
+        stop: &StopControl,
+    ) -> SearchOutcome
+    where
+        E: Evaluator + ?Sized,
+        R: RandomSource + ?Sized,
+    {
+        self.solve_from(eval, rng, stop, None)
+    }
+
+    /// Solve `eval` starting from a given initial permutation (used by the
+    /// dependent multi-walk scheme to restart a walk from an elite
+    /// configuration shared by another walk).  Later restarts fall back to
+    /// fresh random permutations, exactly like [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is provided and its length differs from
+    /// `eval.size()`.
+    pub fn solve_from<E, R>(
+        &self,
+        eval: &mut E,
+        rng: &mut R,
+        stop: &StopControl,
+        initial: Option<&[usize]>,
+    ) -> SearchOutcome
+    where
+        E: Evaluator + ?Sized,
+        R: RandomSource + ?Sized,
+    {
+        let started = Instant::now();
+        let cfg = &self.config;
+        let n = eval.size();
+        if let Some(init) = initial {
+            assert_eq!(
+                init.len(),
+                n,
+                "initial permutation length must match the problem size"
+            );
+        }
+        let mut stats = SearchStats::default();
+
+        // Degenerate sizes: nothing to swap, just evaluate once.
+        if n < 2 {
+            let perm: Vec<usize> = (0..n).collect();
+            let cost = eval.init(&perm);
+            let reason = if cost <= cfg.target_cost {
+                TerminationReason::Solved
+            } else {
+                TerminationReason::IterationBudgetExhausted
+            };
+            return SearchOutcome {
+                reason,
+                best_cost: cost,
+                solution: perm,
+                stats,
+                elapsed: started.elapsed(),
+            };
+        }
+
+        let reset_limit = cfg.effective_reset_limit(n);
+        let reset_count = ((cfg.reset_fraction * n as f64).ceil() as usize).clamp(1, n);
+
+        let mut best_cost = i64::MAX;
+        let mut best_perm: Vec<usize> = Vec::new();
+        let mut reason = TerminationReason::IterationBudgetExhausted;
+
+        // Scratch buffers reused across iterations to avoid per-iteration
+        // allocations (the engine's inner loop is the hot path of every
+        // benchmark in the paper).
+        let mut ties: Vec<usize> = Vec::with_capacity(n);
+
+        'restarts: for restart in 0..=u64::from(cfg.max_restarts) {
+            if restart > 0 {
+                stats.restarts += 1;
+            }
+            let mut perm = match (restart, initial) {
+                (0, Some(init)) => init.to_vec(),
+                _ => rng.permutation(n),
+            };
+            let mut cost = eval.init(&perm);
+            // marks[i] holds the first iteration index at which variable i is
+            // free again; 0 means "never marked".
+            let mut marks: Vec<u64> = vec![0; n];
+            // Number of variables marked since the last partial reset; when it
+            // reaches the reset limit the configuration is partially
+            // re-randomised (this is what keeps Adaptive Search from orbiting
+            // a deep local minimum).
+            let mut marked_since_reset: usize = 0;
+
+            let mut iter_in_restart: u64 = 0;
+            loop {
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_perm = perm.clone();
+                }
+                if cost <= cfg.target_cost {
+                    reason = TerminationReason::Solved;
+                    break 'restarts;
+                }
+                if iter_in_restart >= cfg.max_iterations_per_restart {
+                    // restart (or give up if this was the last one)
+                    break;
+                }
+                if stats.iterations % cfg.stop_check_interval == 0 && stop.should_stop() {
+                    reason = if stop.stop_requested() {
+                        TerminationReason::ExternallyStopped
+                    } else {
+                        TerminationReason::TimedOut
+                    };
+                    break 'restarts;
+                }
+                iter_in_restart += 1;
+                stats.iterations += 1;
+
+                let now = stats.iterations;
+                let (move_i, move_j, best_swap_cost) = if cfg.exhaustive {
+                    // --- exhaustive mode: best swap over all variable pairs ---
+                    let mut best_cost = i64::MAX;
+                    let mut best_pair: Option<(usize, usize)> = None;
+                    let mut pair_ties: u32 = 0;
+                    'scan: for a in 0..n {
+                        for b in a + 1..n {
+                            let new_cost = eval.cost_if_swap(&perm, cost, a, b);
+                            stats.swap_evaluations += 1;
+                            if new_cost < best_cost {
+                                best_cost = new_cost;
+                                best_pair = Some((a, b));
+                                pair_ties = 1;
+                                if cfg.first_best && new_cost < cost {
+                                    break 'scan;
+                                }
+                            } else if new_cost == best_cost {
+                                pair_ties += 1;
+                                if rng.below(u64::from(pair_ties)) == 0 {
+                                    best_pair = Some((a, b));
+                                }
+                            }
+                        }
+                    }
+                    let Some((a, b)) = best_pair else { break };
+                    (a, b, best_cost)
+                } else {
+                    // --- select the worst (highest error) non-frozen variable ---
+                    let mut max_err = i64::MIN;
+                    ties.clear();
+                    for i in 0..n {
+                        if marks[i] > now {
+                            continue;
+                        }
+                        let err = eval.cost_on_variable(&perm, i);
+                        if err > max_err {
+                            max_err = err;
+                            ties.clear();
+                            ties.push(i);
+                        } else if err == max_err {
+                            ties.push(i);
+                        }
+                    }
+
+                    if ties.is_empty() {
+                        // Every variable is frozen: unblock the search with a
+                        // partial reset, as the C framework does.
+                        stats.resets += 1;
+                        Self::partial_reset(&mut perm, reset_count, rng);
+                        cost = eval.init(&perm);
+                        marks.iter_mut().for_each(|m| *m = 0);
+                        marked_since_reset = 0;
+                        continue;
+                    }
+
+                    // Ties (including the degenerate "all errors are zero"
+                    // case, where every free variable ties at error 0) are
+                    // broken uniformly at random.
+                    let worst = *rng.choose(&ties).expect("ties not empty");
+
+                    // --- find the best swap for the selected variable ---
+                    let mut best_cost = i64::MAX;
+                    let mut best_j: Option<usize> = None;
+                    let mut swap_ties: u32 = 0;
+                    for j in 0..n {
+                        if j == worst {
+                            continue;
+                        }
+                        let new_cost = eval.cost_if_swap(&perm, cost, worst, j);
+                        stats.swap_evaluations += 1;
+                        if new_cost < best_cost {
+                            best_cost = new_cost;
+                            best_j = Some(j);
+                            swap_ties = 1;
+                            if cfg.first_best && new_cost < cost {
+                                break;
+                            }
+                        } else if new_cost == best_cost {
+                            // Reservoir-sample among equally good swaps so
+                            // ties do not systematically favour small indices.
+                            swap_ties += 1;
+                            if rng.below(u64::from(swap_ties)) == 0 {
+                                best_j = Some(j);
+                            }
+                        }
+                    }
+
+                    let Some(j) = best_j else {
+                        // n >= 2 guarantees at least one candidate, stay safe.
+                        break;
+                    };
+                    (worst, j, best_cost)
+                };
+
+                let delta = best_swap_cost - cost;
+
+                let accept = if delta < 0 {
+                    true
+                } else if delta == 0 {
+                    let take = rng.bool_with_probability(cfg.plateau_probability);
+                    if take {
+                        stats.plateau_moves += 1;
+                    }
+                    take
+                } else {
+                    false
+                };
+
+                if accept {
+                    perm.swap(move_i, move_j);
+                    eval.executed_swap(&perm, move_i, move_j);
+                    cost = best_swap_cost;
+                    stats.swaps += 1;
+                    continue;
+                }
+
+                // --- local minimum handling ---
+                stats.local_minima += 1;
+                if delta > 0 && rng.bool_with_probability(cfg.prob_select_local_min) {
+                    // Force the (worsening) move to escape the minimum.
+                    perm.swap(move_i, move_j);
+                    eval.executed_swap(&perm, move_i, move_j);
+                    cost = best_swap_cost;
+                    stats.swaps += 1;
+                    stats.forced_moves += 1;
+                    continue;
+                }
+
+                // Freeze the selected variable (in exhaustive mode there is no
+                // selected variable, so the local minimum only counts towards
+                // the reset trigger).
+                if !cfg.exhaustive {
+                    marks[move_i] = now + cfg.freeze_duration + 1;
+                    stats.variables_marked += 1;
+                }
+                marked_since_reset += 1;
+                if marked_since_reset >= reset_limit {
+                    stats.resets += 1;
+                    Self::partial_reset(&mut perm, reset_count, rng);
+                    cost = eval.init(&perm);
+                    marks.iter_mut().for_each(|m| *m = 0);
+                    marked_since_reset = 0;
+                }
+            }
+        }
+
+        if best_perm.is_empty() {
+            // No iteration ever ran (e.g. zero restarts with zero budget —
+            // impossible with a validated config, but stay total).
+            best_perm = (0..n).collect();
+            best_cost = eval.init(&best_perm);
+        }
+
+        SearchOutcome {
+            reason,
+            best_cost,
+            solution: best_perm,
+            stats,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Re-place `count` randomly chosen positions by random swaps (the
+    /// "partial reset" of Adaptive Search).
+    fn partial_reset<R: RandomSource + ?Sized>(perm: &mut [usize], count: usize, rng: &mut R) {
+        let n = perm.len();
+        for _ in 0..count {
+            let a = rng.index(n);
+            let b = rng.index(n);
+            perm.swap(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::test_problems::{SortPermutation, Unsatisfiable};
+
+    fn rng(seed: u64) -> as_rng::DefaultRng {
+        as_rng::default_rng(seed)
+    }
+
+    #[test]
+    fn solves_sort_permutation() {
+        let engine = AdaptiveSearch::default();
+        for seed in 0..10 {
+            let mut problem = SortPermutation::new(20);
+            let out = engine.solve(&mut problem, &mut rng(seed));
+            assert!(out.solved(), "seed {seed} did not solve: {out:?}");
+            assert_eq!(out.best_cost, 0);
+            assert_eq!(out.solution, (0..20).collect::<Vec<_>>());
+            assert!(out.stats.iterations > 0);
+            assert!(out.stats.swaps > 0);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_a_fixed_seed() {
+        let engine = AdaptiveSearch::default();
+        let run = |seed: u64| {
+            let mut p = SortPermutation::new(24);
+            engine.solve(&mut p, &mut rng(seed))
+        };
+        let a = run(12345);
+        let b = run(12345);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.best_cost, b.best_cost);
+    }
+
+    #[test]
+    fn different_seeds_take_different_trajectories() {
+        let engine = AdaptiveSearch::default();
+        let iters: Vec<u64> = (0..8)
+            .map(|seed| {
+                let mut p = SortPermutation::new(32);
+                engine.solve(&mut p, &mut rng(seed)).stats.iterations
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = iters.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "all seeds took identical iteration counts: {iters:?}"
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_problem_exhausts_budget() {
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(50)
+            .max_restarts(2)
+            .build();
+        let engine = AdaptiveSearch::new(config);
+        let mut p = Unsatisfiable { n: 8 };
+        let out = engine.solve(&mut p, &mut rng(1));
+        assert!(!out.solved());
+        assert_eq!(out.reason, TerminationReason::IterationBudgetExhausted);
+        assert_eq!(out.stats.restarts, 2);
+        assert_eq!(out.best_cost, 1);
+        // budget respected: at most (restarts + 1) * per-restart iterations
+        assert!(out.stats.iterations <= 150);
+    }
+
+    #[test]
+    fn external_stop_is_honoured() {
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(1_000_000)
+            .max_restarts(0)
+            .stop_check_interval(1)
+            .build();
+        let engine = AdaptiveSearch::new(config);
+        let stop = StopControl::new();
+        stop.request_stop();
+        let mut p = Unsatisfiable { n: 8 };
+        let out = engine.solve_with_stop(&mut p, &mut rng(2), &stop);
+        assert_eq!(out.reason, TerminationReason::ExternallyStopped);
+        assert!(out.stats.iterations <= 1);
+    }
+
+    #[test]
+    fn timeout_reports_timed_out() {
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(u64::MAX / 4)
+            .max_restarts(0)
+            .stop_check_interval(1)
+            .build();
+        let engine = AdaptiveSearch::new(config);
+        let stop = StopControl::with_timeout(std::time::Duration::ZERO);
+        let mut p = Unsatisfiable { n: 8 };
+        let out = engine.solve_with_stop(&mut p, &mut rng(3), &stop);
+        assert_eq!(out.reason, TerminationReason::TimedOut);
+    }
+
+    #[test]
+    fn trivial_sizes_are_handled() {
+        let engine = AdaptiveSearch::default();
+        let mut p0 = SortPermutation::new(0);
+        let out0 = engine.solve(&mut p0, &mut rng(4));
+        assert!(out0.solved());
+        assert!(out0.solution.is_empty());
+
+        let mut p1 = SortPermutation::new(1);
+        let out1 = engine.solve(&mut p1, &mut rng(5));
+        assert!(out1.solved());
+        assert_eq!(out1.solution, vec![0]);
+
+        let mut u1 = Unsatisfiable { n: 1 };
+        let outu = engine.solve(&mut u1, &mut rng(6));
+        assert!(!outu.solved());
+    }
+
+    #[test]
+    fn already_solved_initial_configuration_costs_zero_iterations() {
+        // With n = 2 the random initial permutation is the identity half the
+        // time; force it by searching seeds until the first configuration is
+        // already sorted, and check no swap was needed.
+        let engine = AdaptiveSearch::default();
+        let mut found = false;
+        for seed in 0..64 {
+            let mut p = SortPermutation::new(2);
+            let out = engine.solve(&mut p, &mut rng(seed));
+            assert!(out.solved());
+            if out.stats.swaps == 0 {
+                assert_eq!(out.stats.iterations, 0);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no seed produced an already-sorted initial state");
+    }
+
+    #[test]
+    fn tuned_for_applies_problem_hints() {
+        struct Hinted;
+        impl Evaluator for Hinted {
+            fn size(&self) -> usize {
+                4
+            }
+            fn init(&mut self, perm: &[usize]) -> i64 {
+                self.cost(perm)
+            }
+            fn cost(&self, _perm: &[usize]) -> i64 {
+                0
+            }
+            fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+                0
+            }
+            fn tune(&self, config: &mut SearchConfig) {
+                config.freeze_duration = 9;
+                config.reset_fraction = 0.4;
+            }
+        }
+        let engine = AdaptiveSearch::tuned_for(&Hinted);
+        assert_eq!(engine.config().freeze_duration, 9);
+        assert!((engine.config().reset_fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_mode_solves_and_counts_pair_scans() {
+        let config = SearchConfig::builder().exhaustive(true).build();
+        let engine = AdaptiveSearch::new(config);
+        let mut p = SortPermutation::new(16);
+        let out = engine.solve(&mut p, &mut rng(21));
+        assert!(out.solved());
+        // every iteration scans at most n(n-1)/2 pairs and never marks variables
+        assert!(out.stats.swap_evaluations <= out.stats.iterations * 120);
+        assert_eq!(out.stats.variables_marked, 0);
+    }
+
+    #[test]
+    fn exhaustive_and_worst_variable_modes_take_different_paths() {
+        let base = SearchConfig::builder().build();
+        let ex = SearchConfig::builder().exhaustive(true).build();
+        let mut p1 = SortPermutation::new(20);
+        let mut p2 = SortPermutation::new(20);
+        let a = AdaptiveSearch::new(base).solve(&mut p1, &mut rng(22));
+        let b = AdaptiveSearch::new(ex).solve(&mut p2, &mut rng(22));
+        assert!(a.solved() && b.solved());
+        assert_ne!(a.stats.swap_evaluations, b.stats.swap_evaluations);
+    }
+
+    #[test]
+    fn first_best_still_solves() {
+        let config = SearchConfig::builder().first_best(true).build();
+        let engine = AdaptiveSearch::new(config);
+        let mut p = SortPermutation::new(30);
+        let out = engine.solve(&mut p, &mut rng(9));
+        assert!(out.solved());
+    }
+
+    #[test]
+    fn forced_local_min_moves_are_counted() {
+        // An unsatisfiable flat landscape forces local minima every iteration;
+        // with prob_select_local_min = 1 every one of them becomes a forced move.
+        #[derive(Clone)]
+        struct Flat(usize);
+        impl Evaluator for Flat {
+            fn size(&self) -> usize {
+                self.0
+            }
+            fn init(&mut self, perm: &[usize]) -> i64 {
+                self.cost(perm)
+            }
+            fn cost(&self, _perm: &[usize]) -> i64 {
+                5
+            }
+            fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+                1
+            }
+            fn cost_if_swap(&self, _p: &[usize], c: i64, _i: usize, _j: usize) -> i64 {
+                c + 1 // every move is worsening
+            }
+        }
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(100)
+            .max_restarts(0)
+            .prob_select_local_min(1.0)
+            .build();
+        let engine = AdaptiveSearch::new(config);
+        let out = engine.solve(&mut Flat(10), &mut rng(11));
+        assert!(!out.solved());
+        assert_eq!(out.stats.local_minima, out.stats.forced_moves);
+        assert!(out.stats.forced_moves > 0);
+        assert_eq!(out.stats.resets, 0);
+
+        // With prob_select_local_min = 0 the same landscape marks variables
+        // and eventually triggers partial resets instead.
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(100)
+            .max_restarts(0)
+            .prob_select_local_min(0.0)
+            .reset_limit(3)
+            .build();
+        let engine = AdaptiveSearch::new(config);
+        let out = engine.solve(&mut Flat(10), &mut rng(11));
+        assert!(out.stats.resets > 0);
+        assert!(out.stats.variables_marked > 0);
+        assert_eq!(out.stats.forced_moves, 0);
+    }
+
+    #[test]
+    fn stats_swap_evaluations_dominate_iterations() {
+        let engine = AdaptiveSearch::default();
+        let mut p = SortPermutation::new(16);
+        let out = engine.solve(&mut p, &mut rng(13));
+        // each iteration evaluates at most n-1 swaps
+        assert!(out.stats.swap_evaluations <= out.stats.iterations * 15);
+        assert!(out.stats.swap_evaluations >= out.stats.swaps);
+    }
+
+    #[test]
+    fn solve_from_uses_the_provided_initial_configuration() {
+        // Starting from the already-sorted permutation must finish with zero
+        // iterations, whatever the seed.
+        let engine = AdaptiveSearch::default();
+        let mut p = SortPermutation::new(12);
+        let sorted: Vec<usize> = (0..12).collect();
+        let out = engine.solve_from(&mut p, &mut rng(77), &StopControl::new(), Some(&sorted));
+        assert!(out.solved());
+        assert_eq!(out.stats.iterations, 0);
+        assert_eq!(out.stats.swaps, 0);
+
+        // Starting from the reverse permutation costs at least one swap.
+        let mut p = SortPermutation::new(12);
+        let reversed: Vec<usize> = (0..12).rev().collect();
+        let out = engine.solve_from(&mut p, &mut rng(77), &StopControl::new(), Some(&reversed));
+        assert!(out.solved());
+        assert!(out.stats.swaps > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn solve_from_rejects_wrong_length() {
+        let engine = AdaptiveSearch::default();
+        let mut p = SortPermutation::new(4);
+        let _ = engine.solve_from(&mut p, &mut rng(1), &StopControl::new(), Some(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SearchConfig")]
+    fn engine_rejects_invalid_config() {
+        let bad = SearchConfig {
+            reset_fraction: 0.0,
+            ..SearchConfig::default()
+        };
+        let _ = AdaptiveSearch::new(bad);
+    }
+}

@@ -1,0 +1,63 @@
+//! # cbls-core — the Adaptive Search engine
+//!
+//! Constraint-Based Local Search for permutation CSPs, re-implementing the
+//! *Adaptive Search* method of Codognet & Diaz that the PPoPP 2012 paper
+//! ["Performance Analysis of Parallel Constraint-Based Local Search"]
+//! parallelizes.  This crate contains the sequential engine and the problem
+//! interface; benchmark models live in `cbls-problems` and the parallel
+//! multi-walk runners in `cbls-parallel`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use as_rng::default_rng;
+//! use cbls_core::{AdaptiveSearch, Evaluator, SearchConfig};
+//!
+//! /// A toy model: sort a permutation (cost = number of misplaced values).
+//! struct Sort(usize);
+//! impl Evaluator for Sort {
+//!     fn size(&self) -> usize { self.0 }
+//!     fn init(&mut self, perm: &[usize]) -> i64 { self.cost(perm) }
+//!     fn cost(&self, perm: &[usize]) -> i64 {
+//!         perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+//!     }
+//!     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+//!         i64::from(perm[i] != i)
+//!     }
+//! }
+//!
+//! let engine = AdaptiveSearch::new(SearchConfig::default());
+//! let outcome = engine.solve(&mut Sort(12), &mut default_rng(1));
+//! assert!(outcome.solved());
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`Evaluator`] / [`EvaluatorFactory`] — the problem interface (the Rust
+//!   equivalent of the C framework's `Cost_Of_Solution` / `Cost_On_Variable` /
+//!   `Cost_If_Swap` / `Executed_Swap` entry points).
+//! * [`SearchConfig`] — engine parameters (freeze duration, reset policy,
+//!   restart policy, plateau handling).
+//! * [`AdaptiveSearch`] — the solver itself.
+//! * [`SearchOutcome`] / [`SearchStats`] / [`TerminationReason`] — per-run
+//!   results and counters.
+//! * [`StopControl`] — cooperative termination, the only communication the
+//!   paper's independent walks ever perform.
+//! * [`Summary`] — descriptive statistics over repeated runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod evaluator;
+mod outcome;
+mod stop;
+mod summary;
+
+pub use config::{SearchConfig, SearchConfigBuilder};
+pub use engine::AdaptiveSearch;
+pub use evaluator::{Evaluator, EvaluatorFactory};
+pub use outcome::{SearchOutcome, SearchStats, TerminationReason};
+pub use stop::StopControl;
+pub use summary::Summary;

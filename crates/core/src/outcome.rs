@@ -1,0 +1,192 @@
+//! Results and statistics of a search run.
+//!
+//! The paper's analysis is entirely statistical — mean run times, speedups,
+//! distribution shapes — so the engine records enough counters per run for
+//! the performance model to work from iteration counts rather than wall
+//! clocks (which keeps every figure machine-independent and reproducible).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a search run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// The target cost was reached: a solution was found.
+    Solved,
+    /// Every restart exhausted its iteration budget.
+    IterationBudgetExhausted,
+    /// The external stop flag was raised (another walk finished first).
+    ExternallyStopped,
+    /// The wall-clock deadline attached to the stop control passed.
+    TimedOut,
+}
+
+impl TerminationReason {
+    /// Whether the run ended with a solution.
+    #[must_use]
+    pub fn is_solved(self) -> bool {
+        matches!(self, TerminationReason::Solved)
+    }
+}
+
+/// Counters accumulated by the engine over one call to
+/// [`AdaptiveSearch::solve`](crate::AdaptiveSearch::solve) (all restarts
+/// included).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Total engine iterations (variable selections) across all restarts.
+    pub iterations: u64,
+    /// Swaps actually performed (improving, sideways and forced).
+    pub swaps: u64,
+    /// Iterations that ended on a local minimum of the selected variable.
+    pub local_minima: u64,
+    /// Sideways (equal-cost) moves accepted.
+    pub plateau_moves: u64,
+    /// Worsening moves forced through `prob_select_local_min`.
+    pub forced_moves: u64,
+    /// Variables marked tabu.
+    pub variables_marked: u64,
+    /// Partial resets performed.
+    pub resets: u64,
+    /// Full restarts performed (0 = solved within the first try).
+    pub restarts: u64,
+    /// Calls to `cost_if_swap` (the dominant cost of an iteration).
+    pub swap_evaluations: u64,
+}
+
+impl SearchStats {
+    /// Merge the counters of another run into this one (used by aggregated
+    /// multi-walk reporting).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.iterations += other.iterations;
+        self.swaps += other.swaps;
+        self.local_minima += other.local_minima;
+        self.plateau_moves += other.plateau_moves;
+        self.forced_moves += other.forced_moves;
+        self.variables_marked += other.variables_marked;
+        self.resets += other.resets;
+        self.restarts += other.restarts;
+        self.swap_evaluations += other.swap_evaluations;
+    }
+}
+
+/// The complete outcome of one search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Why the run ended.
+    pub reason: TerminationReason,
+    /// Best cost reached.
+    pub best_cost: i64,
+    /// The best permutation found (a solution iff `reason.is_solved()` and
+    /// the target cost is 0).
+    pub solution: Vec<usize>,
+    /// Counters accumulated during the run.
+    pub stats: SearchStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl SearchOutcome {
+    /// Whether a solution (cost ≤ target) was found.
+    #[must_use]
+    pub fn solved(&self) -> bool {
+        self.reason.is_solved()
+    }
+
+    /// Iterations per second over the run (0 if the clock did not advance).
+    #[must_use]
+    pub fn iterations_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.stats.iterations as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_solved_predicate() {
+        assert!(TerminationReason::Solved.is_solved());
+        assert!(!TerminationReason::IterationBudgetExhausted.is_solved());
+        assert!(!TerminationReason::ExternallyStopped.is_solved());
+        assert!(!TerminationReason::TimedOut.is_solved());
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = SearchStats {
+            iterations: 10,
+            swaps: 5,
+            local_minima: 2,
+            plateau_moves: 1,
+            forced_moves: 1,
+            variables_marked: 3,
+            resets: 1,
+            restarts: 0,
+            swap_evaluations: 90,
+        };
+        let b = SearchStats {
+            iterations: 7,
+            swaps: 3,
+            local_minima: 1,
+            plateau_moves: 0,
+            forced_moves: 0,
+            variables_marked: 1,
+            resets: 0,
+            restarts: 2,
+            swap_evaluations: 63,
+        };
+        a.merge(&b);
+        assert_eq!(a.iterations, 17);
+        assert_eq!(a.swaps, 8);
+        assert_eq!(a.local_minima, 3);
+        assert_eq!(a.plateau_moves, 1);
+        assert_eq!(a.forced_moves, 1);
+        assert_eq!(a.variables_marked, 4);
+        assert_eq!(a.resets, 1);
+        assert_eq!(a.restarts, 2);
+        assert_eq!(a.swap_evaluations, 153);
+    }
+
+    #[test]
+    fn iterations_per_second_handles_zero_elapsed() {
+        let o = SearchOutcome {
+            reason: TerminationReason::Solved,
+            best_cost: 0,
+            solution: vec![0, 1, 2],
+            stats: SearchStats {
+                iterations: 100,
+                ..SearchStats::default()
+            },
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(o.iterations_per_second(), 0.0);
+        let o2 = SearchOutcome {
+            elapsed: Duration::from_secs(2),
+            ..o
+        };
+        assert!((o2.iterations_per_second() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_serde_round_trip() {
+        let o = SearchOutcome {
+            reason: TerminationReason::ExternallyStopped,
+            best_cost: 4,
+            solution: vec![2, 0, 1],
+            stats: SearchStats::default(),
+            elapsed: Duration::from_millis(12),
+        };
+        let json = serde_json::to_string(&o).unwrap();
+        let back: SearchOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reason, TerminationReason::ExternallyStopped);
+        assert_eq!(back.best_cost, 4);
+        assert_eq!(back.solution, vec![2, 0, 1]);
+    }
+}

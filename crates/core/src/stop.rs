@@ -1,0 +1,158 @@
+//! Cooperative termination of search engines.
+//!
+//! The paper's multi-walk scheme has "no communication between the
+//! simultaneous computations *except for completion*": the only signal a walk
+//! ever receives is "someone else finished, stop now".  [`StopControl`]
+//! carries exactly that signal (a shared atomic flag), plus an optional
+//! wall-clock deadline used by the sequential harness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared, cheaply clonable stop signal checked periodically by the engine.
+#[derive(Debug, Clone)]
+pub struct StopControl {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Default for StopControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StopControl {
+    /// A stop control that never fires on its own.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A stop control that fires after `timeout` of wall-clock time.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// A stop control sharing an externally owned flag (the multi-walk runner
+    /// hands the same flag to every walk).
+    #[must_use]
+    pub fn with_shared_flag(flag: Arc<AtomicBool>) -> Self {
+        Self {
+            flag,
+            deadline: None,
+        }
+    }
+
+    /// Attach a wall-clock deadline to this control.
+    #[must_use]
+    pub fn and_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// The shared flag, for handing to sibling walks.
+    #[must_use]
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Request that every engine sharing this control stop as soon as it
+    /// polls the flag.
+    pub fn request_stop(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether a stop has been requested (does not consider the deadline).
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether the engine should stop now, either because the flag is raised
+    /// or because the deadline has passed.
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fresh_control_does_not_stop() {
+        let c = StopControl::new();
+        assert!(!c.should_stop());
+        assert!(!c.stop_requested());
+    }
+
+    #[test]
+    fn request_stop_is_visible() {
+        let c = StopControl::new();
+        c.request_stop();
+        assert!(c.should_stop());
+        assert!(c.stop_requested());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = StopControl::new();
+        let b = a.clone();
+        b.request_stop();
+        assert!(a.should_stop());
+    }
+
+    #[test]
+    fn shared_flag_constructor_shares() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let a = StopControl::with_shared_flag(Arc::clone(&flag));
+        let b = StopControl::with_shared_flag(Arc::clone(&flag));
+        a.request_stop();
+        assert!(b.should_stop());
+        assert!(flag.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn timeout_eventually_fires() {
+        let c = StopControl::with_timeout(Duration::from_millis(10));
+        assert!(!c.stop_requested());
+        thread::sleep(Duration::from_millis(20));
+        assert!(c.should_stop());
+        // the flag itself is still untouched: only the deadline fired
+        assert!(!c.stop_requested());
+    }
+
+    #[test]
+    fn zero_timeout_stops_immediately() {
+        let c = StopControl::with_timeout(Duration::ZERO);
+        assert!(c.should_stop());
+    }
+
+    #[test]
+    fn stop_propagates_across_threads() {
+        let c = StopControl::new();
+        let c2 = c.clone();
+        let handle = thread::spawn(move || {
+            c2.request_stop();
+        });
+        handle.join().unwrap();
+        assert!(c.should_stop());
+    }
+}

@@ -1,0 +1,160 @@
+//! Small descriptive-statistics helper shared by the runners and the
+//! performance model.
+//!
+//! The paper reports means over many runs (50 runs per configuration in the
+//! companion EvoCOP'11 study); [`Summary`] captures the handful of moments
+//! every table needs without pulling in a statistics crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample of non-negative measurements
+/// (iteration counts, run times in seconds, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Smallest observation (0 for an empty sample).
+    pub min: f64,
+    /// Largest observation (0 for an empty sample).
+    pub max: f64,
+    /// Median (interpolated for even counts, 0 for an empty sample).
+    pub median: f64,
+    /// Sum of all observations.
+    pub total: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of measurements.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        let count = samples.len();
+        if count == 0 {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                total: 0.0,
+            };
+        }
+        let total: f64 = samples.iter().sum();
+        let mean = total / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
+        };
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+            total,
+        }
+    }
+
+    /// Summarize an iterator of `u64` measurements (iteration counts).
+    #[must_use]
+    pub fn of_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        let as_f64: Vec<f64> = counts.into_iter().map(|c| c as f64).collect();
+        Self::of(&as_f64)
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), 0 if the mean is 0.
+    ///
+    /// A coefficient of variation close to 1 is the signature of an
+    /// exponential runtime distribution — the regime in which independent
+    /// multi-walk parallelism gives linear speedups.
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean.abs() > f64::EPSILON {
+            self.std_dev / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.total, 4.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // sample std dev of this classic example is sqrt(32/7)
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert!((s.total - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_count_median_is_middle_element() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn of_counts_matches_of() {
+        let a = Summary::of_counts([1u64, 2, 3, 4]);
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::of(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let s = Summary::of(&[]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let s = Summary::of(&[1.0, 3.0]);
+        assert!(s.coefficient_of_variation() > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,393 @@
+//! Dependent multi-walk: the paper's "future work" scheme.
+//!
+//! The paper closes by sketching a *dependent* multiple-walk method in which
+//! processes exchange a little information — "re-using some common
+//! computations and/or recording previous interesting crossroads in the
+//! resolution, from which a restart can be operated" — while keeping data
+//! transfers minimal.  This module implements that sketch:
+//!
+//! * walks run in synchronous *segments* of a bounded number of iterations;
+//! * after each segment a walk publishes its best configuration to a shared
+//!   elite pool (a single best-so-far entry, i.e. the minimal possible data
+//!   transfer);
+//! * a walk whose own best cost is far worse than the elite abandons its
+//!   region and restarts the next segment from a *perturbed copy* of the
+//!   elite (the "interesting crossroad"), otherwise it continues from its own
+//!   best configuration;
+//! * the first walk to reach the target cost stops the whole run.
+//!
+//! The paper warns that beating independent walks is hard because "the global
+//! cost of a configuration is not a reliable information"; the ablation bench
+//! (`cargo bench -p cbls-bench --bench ablation`) measures exactly that
+//! trade-off.
+
+use as_rng::RandomSource;
+use cbls_core::{
+    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchStats, StopControl, TerminationReason,
+};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::seeds::WalkSeeds;
+
+/// Parameters of a dependent multi-walk run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependentWalkConfig {
+    /// Number of cooperating walks.
+    pub walks: usize,
+    /// Master seed for the per-walk streams.
+    pub master_seed: u64,
+    /// Engine configuration used inside each segment (its restart settings
+    /// are overridden by the segment budget).
+    pub search: SearchConfig,
+    /// Iteration budget of one segment of one walk.
+    pub segment_iterations: u64,
+    /// Maximum number of segments before giving up.
+    pub max_segments: u32,
+    /// A walk adopts the elite when its own best cost exceeds
+    /// `elite_adoption_ratio × elite_cost` (a ratio of 1.0 adopts whenever
+    /// strictly worse; large ratios make the walks nearly independent).
+    pub elite_adoption_ratio: f64,
+    /// Fraction of the variables that are randomly re-placed when adopting
+    /// the elite, so that walks do not all collapse onto the same trajectory.
+    pub perturbation_fraction: f64,
+}
+
+impl DependentWalkConfig {
+    /// A reasonable default configuration for `walks` cooperating walks.
+    #[must_use]
+    pub fn new(walks: usize) -> Self {
+        Self {
+            walks,
+            master_seed: 0xDEC0_DE00,
+            search: SearchConfig::default(),
+            segment_iterations: 2_000,
+            max_segments: 200,
+            elite_adoption_ratio: 1.5,
+            perturbation_fraction: 0.2,
+        }
+    }
+
+    /// Replace the engine configuration.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Replace the master seed.
+    #[must_use]
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Replace the per-segment iteration budget.
+    #[must_use]
+    pub fn with_segment_iterations(mut self, iterations: u64) -> Self {
+        self.segment_iterations = iterations;
+        self
+    }
+
+    /// Replace the maximum number of segments.
+    #[must_use]
+    pub fn with_max_segments(mut self, segments: u32) -> Self {
+        self.max_segments = segments;
+        self
+    }
+}
+
+/// The shared elite: the best configuration any walk has published so far.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Elite {
+    cost: i64,
+    perm: Vec<usize>,
+    found_by: usize,
+}
+
+/// Result of a dependent multi-walk run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DependentWalkResult {
+    /// Whether the target cost was reached.
+    pub solved: bool,
+    /// The walk that produced the best configuration.
+    pub best_walk: usize,
+    /// Best cost reached across all walks.
+    pub best_cost: i64,
+    /// Best configuration reached across all walks.
+    pub solution: Vec<usize>,
+    /// Number of segments executed (synchronous rounds).
+    pub segments: u32,
+    /// Number of times a walk abandoned its region to adopt the elite.
+    pub elite_adoptions: u64,
+    /// Aggregate engine counters over every walk and segment.
+    pub stats: SearchStats,
+}
+
+/// Per-walk state carried across segments.
+struct WalkState {
+    rng: as_rng::DefaultRng,
+    best_cost: i64,
+    best_perm: Option<Vec<usize>>,
+}
+
+/// Run the dependent multi-walk scheme.
+///
+/// # Panics
+///
+/// Panics if `config.walks == 0` or `config.segment_iterations == 0`.
+pub fn run_dependent<F>(factory: &F, config: &DependentWalkConfig) -> DependentWalkResult
+where
+    F: EvaluatorFactory,
+{
+    assert!(config.walks > 0, "a dependent run needs at least one walk");
+    assert!(
+        config.segment_iterations > 0,
+        "segments need a positive iteration budget"
+    );
+
+    let seeds = WalkSeeds::new(config.master_seed);
+    let mut segment_search = config.search.clone();
+    segment_search.max_iterations_per_restart = config.segment_iterations;
+    segment_search.max_restarts = 0;
+    let engine = AdaptiveSearch::new(segment_search);
+    let target = config.search.target_cost;
+
+    let elite: Mutex<Option<Elite>> = Mutex::new(None);
+    let stop = StopControl::new();
+    let adoption_count = Mutex::new(0u64);
+    let total_stats = Mutex::new(SearchStats::default());
+
+    let mut states: Vec<WalkState> = (0..config.walks)
+        .map(|w| WalkState {
+            rng: seeds.rng_of(w),
+            best_cost: i64::MAX,
+            best_perm: None,
+        })
+        .collect();
+
+    let mut segments_run = 0;
+    for _segment in 0..config.max_segments {
+        segments_run += 1;
+        states
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(walk_id, state)| {
+                if stop.should_stop() {
+                    return;
+                }
+                let mut evaluator = factory.build();
+
+                // Decide the starting configuration for this segment: the
+                // shared elite (perturbed) if our own best is clearly worse,
+                // otherwise our own best configuration, otherwise random.
+                let elite_snapshot = elite.lock().clone();
+                let initial: Option<Vec<usize>> = match (&elite_snapshot, &state.best_perm) {
+                    (Some(e), Some(own)) => {
+                        if (state.best_cost as f64) > config.elite_adoption_ratio * e.cost as f64 {
+                            *adoption_count.lock() += 1;
+                            Some(perturb(
+                                &e.perm,
+                                config.perturbation_fraction,
+                                &mut state.rng,
+                            ))
+                        } else {
+                            Some(own.clone())
+                        }
+                    }
+                    (Some(e), None) => {
+                        *adoption_count.lock() += 1;
+                        Some(perturb(
+                            &e.perm,
+                            config.perturbation_fraction,
+                            &mut state.rng,
+                        ))
+                    }
+                    (None, Some(own)) => Some(own.clone()),
+                    (None, None) => None,
+                };
+
+                let outcome = engine.solve_from(
+                    &mut evaluator,
+                    &mut state.rng,
+                    &stop,
+                    initial.as_deref(),
+                );
+                total_stats.lock().merge(&outcome.stats);
+
+                if outcome.best_cost < state.best_cost {
+                    state.best_cost = outcome.best_cost;
+                    state.best_perm = Some(outcome.solution.clone());
+                }
+
+                // Publish to the elite pool (minimal data transfer: one
+                // configuration).
+                let mut guard = elite.lock();
+                let better = guard
+                    .as_ref()
+                    .map_or(true, |e| outcome.best_cost < e.cost);
+                if better {
+                    *guard = Some(Elite {
+                        cost: outcome.best_cost,
+                        perm: outcome.solution.clone(),
+                        found_by: walk_id,
+                    });
+                }
+                drop(guard);
+
+                if outcome.reason == TerminationReason::Solved && outcome.best_cost <= target {
+                    stop.request_stop();
+                }
+            });
+
+        if stop.should_stop() {
+            break;
+        }
+    }
+
+    let best = elite.lock().clone();
+    let stats = total_stats.lock().clone();
+    let elite_adoptions = *adoption_count.lock();
+    match best {
+        Some(e) => DependentWalkResult {
+            solved: e.cost <= target,
+            best_walk: e.found_by,
+            best_cost: e.cost,
+            solution: e.perm,
+            segments: segments_run,
+            elite_adoptions,
+            stats,
+        },
+        None => DependentWalkResult {
+            solved: false,
+            best_walk: 0,
+            best_cost: i64::MAX,
+            solution: Vec::new(),
+            segments: segments_run,
+            elite_adoptions,
+            stats,
+        },
+    }
+}
+
+/// Randomly re-place a fraction of the positions of `perm` (by random swaps),
+/// keeping it a permutation.
+fn perturb<R: RandomSource + ?Sized>(perm: &[usize], fraction: f64, rng: &mut R) -> Vec<usize> {
+    let mut out = perm.to_vec();
+    let n = out.len();
+    if n < 2 {
+        return out;
+    }
+    let swaps = ((fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize).max(1);
+    for _ in 0..swaps {
+        let a = rng.index(n);
+        let b = rng.index(n);
+        out.swap(a, b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbls_core::Evaluator;
+
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+    }
+
+    #[derive(Clone)]
+    struct Hopeless(usize);
+    impl Evaluator for Hopeless {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost(&self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+            1
+        }
+    }
+
+    #[test]
+    fn dependent_walks_solve_an_easy_problem() {
+        let cfg = DependentWalkConfig::new(4)
+            .with_master_seed(5)
+            .with_segment_iterations(500)
+            .with_max_segments(20);
+        let result = run_dependent(&|| Sort(24), &cfg);
+        assert!(result.solved);
+        assert_eq!(result.best_cost, 0);
+        assert_eq!(result.solution.len(), 24);
+        assert!(result.segments >= 1);
+        assert!(result.stats.iterations > 0);
+    }
+
+    #[test]
+    fn dependent_walks_are_deterministic() {
+        let cfg = DependentWalkConfig::new(3)
+            .with_master_seed(11)
+            .with_segment_iterations(200)
+            .with_max_segments(30);
+        let a = run_dependent(&|| Sort(20), &cfg);
+        let b = run_dependent(&|| Sort(20), &cfg);
+        // Elite-publication order can vary with the rayon schedule, so only
+        // the schedule-independent facts are compared.
+        assert_eq!(a.solved, b.solved);
+        assert_eq!(a.best_cost, b.best_cost);
+    }
+
+    #[test]
+    fn hopeless_problems_exhaust_their_segments() {
+        let cfg = DependentWalkConfig::new(2)
+            .with_segment_iterations(50)
+            .with_max_segments(3);
+        let result = run_dependent(&|| Hopeless(6), &cfg);
+        assert!(!result.solved);
+        assert_eq!(result.segments, 3);
+        assert_eq!(result.best_cost, 1);
+    }
+
+    #[test]
+    fn perturbation_preserves_the_permutation_property() {
+        let mut rng = as_rng::default_rng(3);
+        let perm: Vec<usize> = (0..50).collect();
+        for fraction in [0.0, 0.1, 0.5, 1.0] {
+            let p = perturb(&perm, fraction, &mut rng);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, perm);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_walks_is_rejected() {
+        let _ = run_dependent(&|| Sort(4), &DependentWalkConfig::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive iteration budget")]
+    fn zero_segment_budget_is_rejected() {
+        let cfg = DependentWalkConfig::new(1).with_segment_iterations(0);
+        let _ = run_dependent(&|| Sort(4), &cfg);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cbls-parallel — multiple independent-walk parallelism for Adaptive Search
+//!
+//! This crate implements the parallelisation scheme the paper evaluates:
+//! launch `p` Adaptive Search engines from different random initial
+//! configurations, let them run **without any communication**, and stop every
+//! walk as soon as one of them finds a solution ("no communication between
+//! the simultaneous computations except for completion").
+//!
+//! Three execution back-ends are provided:
+//!
+//! * [`run_threads`] — one OS thread per walk with a shared atomic stop flag,
+//!   the closest analogue of the paper's one-MPI-process-per-core setup;
+//! * [`run_rayon`] — the same semantics on a bounded rayon pool, for running
+//!   hundreds of logical walks on a handful of physical cores;
+//! * [`SimulatedMultiWalk`] — a deterministic sequential replay of `p` walks
+//!   that reports the *iteration count* the parallel run would have needed
+//!   (the minimum over walks).  This is the back-end the figure harness uses:
+//!   it is exact for independent walks (no communication exists to perturb
+//!   it), it is reproducible, and it does not require a 256-core machine.
+//!
+//! The crate also contains the paper's "future work" — a *dependent*
+//! multi-walk scheme with periodic exchange of elite configurations
+//! ([`dependent`]) — and speedup bookkeeping helpers ([`speedup`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dependent;
+mod multiwalk;
+mod seeds;
+mod simulate;
+pub mod speedup;
+
+pub use multiwalk::{run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, WalkReport};
+pub use seeds::WalkSeeds;
+pub use simulate::{SimulatedMultiWalk, SimulatedRun};

@@ -1,0 +1,376 @@
+//! True parallel execution of independent walks.
+//!
+//! [`run_threads`] spawns one OS thread per walk; [`run_rayon`] schedules the
+//! walks on a rayon pool (useful when the number of logical walks exceeds the
+//! number of physical cores).  In both cases the walks share nothing but a
+//! [`StopControl`] flag: the first walk that reaches the target cost raises
+//! the flag and every other walk stops at its next poll — exactly the
+//! termination-only communication of the paper's scheme.
+
+use std::time::{Duration, Instant};
+
+use cbls_core::{
+    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl, Summary,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::seeds::WalkSeeds;
+
+/// Parameters of a multi-walk run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiWalkConfig {
+    /// Number of independent walks (the paper's number of cores).
+    pub walks: usize,
+    /// Master seed from which every walk's stream is derived.
+    pub master_seed: u64,
+    /// Engine configuration shared by all walks.
+    pub search: SearchConfig,
+    /// Optional wall-clock limit for the whole run.
+    pub timeout: Option<Duration>,
+}
+
+impl MultiWalkConfig {
+    /// A configuration with the given number of walks, a fixed master seed
+    /// and the default engine parameters.
+    #[must_use]
+    pub fn new(walks: usize) -> Self {
+        Self {
+            walks,
+            master_seed: 0xC0DE_CAFE,
+            search: SearchConfig::default(),
+            timeout: None,
+        }
+    }
+
+    /// Replace the engine configuration.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Replace the master seed.
+    #[must_use]
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Attach a wall-clock timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// The outcome of one walk within a multi-walk run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalkReport {
+    /// Walk index (`0..walks`).
+    pub walk_id: usize,
+    /// The 64-bit seed the walk's stream was derived from.
+    pub seed: u64,
+    /// The walk's search outcome (solved, stopped, exhausted, ...).
+    pub outcome: SearchOutcome,
+}
+
+/// The aggregate result of a multi-walk run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiWalkResult {
+    /// Index of the first walk that solved the problem, if any.
+    pub winner: Option<usize>,
+    /// Per-walk reports, ordered by walk index.
+    pub reports: Vec<WalkReport>,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+}
+
+impl MultiWalkResult {
+    /// Whether any walk found a solution.
+    #[must_use]
+    pub fn solved(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// The winning walk's outcome, if any walk solved the problem.
+    #[must_use]
+    pub fn winning_outcome(&self) -> Option<&SearchOutcome> {
+        self.winner.map(|w| &self.reports[w].outcome)
+    }
+
+    /// Iterations performed by the winning walk (the parallel scheme's
+    /// machine-independent cost), if solved.
+    #[must_use]
+    pub fn winning_iterations(&self) -> Option<u64> {
+        self.winning_outcome().map(|o| o.stats.iterations)
+    }
+
+    /// Total iterations across all walks (the parallel scheme's total work).
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.reports.iter().map(|r| r.outcome.stats.iterations).sum()
+    }
+
+    /// Summary of per-walk iteration counts.
+    #[must_use]
+    pub fn iteration_summary(&self) -> Summary {
+        Summary::of_counts(self.reports.iter().map(|r| r.outcome.stats.iterations))
+    }
+}
+
+fn resolve_winner(reports: &[WalkReport]) -> Option<usize> {
+    // The "first finisher" in wall-clock terms is the solved walk with the
+    // smallest elapsed time; using the recorded elapsed time (rather than
+    // arrival order) keeps the choice deterministic across schedulers.
+    reports
+        .iter()
+        .filter(|r| r.outcome.solved())
+        .min_by_key(|r| (r.outcome.elapsed, r.walk_id))
+        .map(|r| r.walk_id)
+}
+
+fn run_single_walk<F>(
+    factory: &F,
+    engine: &AdaptiveSearch,
+    seeds: &WalkSeeds,
+    stop: &StopControl,
+    walk_id: usize,
+) -> WalkReport
+where
+    F: EvaluatorFactory,
+{
+    let mut evaluator = factory.build();
+    let mut rng = seeds.rng_of(walk_id);
+    let outcome = engine.solve_with_stop(&mut evaluator, &mut rng, stop);
+    if outcome.solved() {
+        // Completion is the only message the walks ever exchange.
+        stop.request_stop();
+    }
+    WalkReport {
+        walk_id,
+        seed: seeds.seed_of(walk_id),
+        outcome,
+    }
+}
+
+/// Run `config.walks` independent walks, one OS thread per walk.
+///
+/// This mirrors the paper's deployment (one search engine per core); use
+/// [`run_rayon`] when the logical walk count exceeds the physical core count.
+pub fn run_threads<F>(factory: &F, config: &MultiWalkConfig) -> MultiWalkResult
+where
+    F: EvaluatorFactory,
+{
+    assert!(config.walks > 0, "a multi-walk run needs at least one walk");
+    let started = Instant::now();
+    let engine = AdaptiveSearch::new(config.search.clone());
+    let seeds = WalkSeeds::new(config.master_seed);
+    let stop = match config.timeout {
+        Some(t) => StopControl::with_timeout(t),
+        None => StopControl::new(),
+    };
+
+    let mut reports: Vec<WalkReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.walks)
+            .map(|walk_id| {
+                let engine = &engine;
+                let seeds = &seeds;
+                let stop = &stop;
+                scope.spawn(move || run_single_walk(factory, engine, seeds, stop, walk_id))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("walk thread panicked"))
+            .collect()
+    });
+    reports.sort_by_key(|r| r.walk_id);
+
+    MultiWalkResult {
+        winner: resolve_winner(&reports),
+        reports,
+        wall_time: started.elapsed(),
+    }
+}
+
+/// Run `config.walks` independent walks on the global rayon pool.
+pub fn run_rayon<F>(factory: &F, config: &MultiWalkConfig) -> MultiWalkResult
+where
+    F: EvaluatorFactory,
+{
+    assert!(config.walks > 0, "a multi-walk run needs at least one walk");
+    let started = Instant::now();
+    let engine = AdaptiveSearch::new(config.search.clone());
+    let seeds = WalkSeeds::new(config.master_seed);
+    let stop = match config.timeout {
+        Some(t) => StopControl::with_timeout(t),
+        None => StopControl::new(),
+    };
+
+    let mut reports: Vec<WalkReport> = (0..config.walks)
+        .into_par_iter()
+        .map(|walk_id| run_single_walk(factory, &engine, &seeds, &stop, walk_id))
+        .collect();
+    reports.sort_by_key(|r| r.walk_id);
+
+    MultiWalkResult {
+        winner: resolve_winner(&reports),
+        reports,
+        wall_time: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbls_core::Evaluator;
+
+    /// Cost = number of misplaced values; solvable by every walk quickly.
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+    }
+
+    /// A problem no walk can ever solve (used to exercise timeouts/budgets).
+    #[derive(Clone)]
+    struct Hopeless(usize);
+    impl Evaluator for Hopeless {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost(&self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+            1
+        }
+    }
+
+    fn quick_config(walks: usize) -> MultiWalkConfig {
+        MultiWalkConfig::new(walks)
+            .with_master_seed(42)
+            .with_search(
+                SearchConfig::builder()
+                    .max_iterations_per_restart(10_000)
+                    .max_restarts(3)
+                    .stop_check_interval(4)
+                    .build(),
+            )
+    }
+
+    #[test]
+    fn threads_backend_solves_and_reports_every_walk() {
+        let result = run_threads(&|| Sort(24), &quick_config(4));
+        assert!(result.solved());
+        assert_eq!(result.reports.len(), 4);
+        let winner = result.winner.unwrap();
+        assert!(result.reports[winner].outcome.solved());
+        assert!(result.winning_iterations().unwrap() > 0);
+        assert!(result.total_iterations() >= result.winning_iterations().unwrap());
+        // reports are ordered by walk id and carry the derived seeds
+        for (i, r) in result.reports.iter().enumerate() {
+            assert_eq!(r.walk_id, i);
+            assert_eq!(r.seed, WalkSeeds::new(42).seed_of(i));
+        }
+    }
+
+    #[test]
+    fn rayon_backend_matches_thread_backend_semantics() {
+        let a = run_threads(&|| Sort(16), &quick_config(3));
+        let b = run_rayon(&|| Sort(16), &quick_config(3));
+        assert!(a.solved() && b.solved());
+        assert_eq!(a.reports.len(), b.reports.len());
+        // Each walk is deterministic given its seed, so a walk that ran to
+        // completion in both backends reports identical iteration counts.
+        for (ra, rb) in a.reports.iter().zip(b.reports.iter()) {
+            if ra.outcome.solved() && rb.outcome.solved() {
+                assert_eq!(ra.outcome.stats.iterations, rb.outcome.stats.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn unsolvable_run_reports_no_winner() {
+        let cfg = MultiWalkConfig::new(2).with_search(
+            SearchConfig::builder()
+                .max_iterations_per_restart(200)
+                .max_restarts(0)
+                .build(),
+        );
+        let result = run_threads(&|| Hopeless(8), &cfg);
+        assert!(!result.solved());
+        assert!(result.winner.is_none());
+        assert!(result.winning_outcome().is_none());
+        assert_eq!(result.reports.len(), 2);
+    }
+
+    #[test]
+    fn timeout_stops_hopeless_runs_quickly() {
+        let cfg = MultiWalkConfig::new(2)
+            .with_search(
+                SearchConfig::builder()
+                    .max_iterations_per_restart(u64::MAX / 8)
+                    .max_restarts(0)
+                    .stop_check_interval(1)
+                    .build(),
+            )
+            .with_timeout(Duration::from_millis(50));
+        let started = Instant::now();
+        let result = run_threads(&|| Hopeless(8), &cfg);
+        assert!(!result.solved());
+        assert!(started.elapsed() < Duration::from_secs(10));
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| !r.outcome.solved()));
+    }
+
+    #[test]
+    fn single_walk_multiwalk_equals_sequential_run() {
+        let cfg = quick_config(1);
+        let result = run_threads(&|| Sort(20), &cfg);
+        assert!(result.solved());
+
+        // A direct sequential run with the same derived seed must agree.
+        let engine = AdaptiveSearch::new(cfg.search.clone());
+        let mut rng = WalkSeeds::new(cfg.master_seed).rng_of(0);
+        let mut problem = Sort(20);
+        let direct = engine.solve(&mut problem, &mut rng);
+        assert_eq!(
+            direct.stats.iterations,
+            result.reports[0].outcome.stats.iterations
+        );
+        assert_eq!(direct.solution, result.reports[0].outcome.solution);
+    }
+
+    #[test]
+    fn iteration_summary_counts_all_walks() {
+        let result = run_threads(&|| Sort(16), &quick_config(5));
+        let summary = result.iteration_summary();
+        assert_eq!(summary.count, 5);
+        assert!(summary.mean >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_walks_is_rejected() {
+        let _ = run_threads(&|| Sort(4), &MultiWalkConfig::new(0));
+    }
+}

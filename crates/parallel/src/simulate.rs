@@ -1,0 +1,296 @@
+//! Deterministic sequential replay of a multi-walk run.
+//!
+//! Because the paper's walks are fully independent, a `p`-walk parallel run
+//! is *exactly* "run the same `p` seeded walks and keep the one that finishes
+//! first".  [`SimulatedMultiWalk`] therefore replays the walks one after the
+//! other on a single core and reports, for every requested walk count `p`,
+//! the iteration count of the fastest of the first `p` walks — the
+//! machine-independent cost the paper's parallel runs would have paid.  The
+//! figure harness feeds these counts to `cbls-perfmodel`, which converts them
+//! into simulated wall-clock times on the HA8000 / Grid'5000 platform models.
+//!
+//! Every walk runs to completion (it is not interrupted by a sibling's
+//! success), so a single replay can be reused for *every* walk count `p ≤
+//! walks` — this is what makes sweeping 16..256 "cores" tractable on a
+//! laptop.
+
+use cbls_core::{AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::seeds::WalkSeeds;
+
+/// One replayed walk: its seed and its full outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulatedRun {
+    /// Walk index.
+    pub walk_id: usize,
+    /// Seed of the walk's random stream.
+    pub seed: u64,
+    /// Outcome of running the walk to completion (never externally stopped).
+    pub outcome: SearchOutcome,
+}
+
+/// A deterministic replay of `walks` independent walks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulatedMultiWalk {
+    master_seed: u64,
+    runs: Vec<SimulatedRun>,
+}
+
+impl SimulatedMultiWalk {
+    /// Replay `walks` walks sequentially (deterministic, single-threaded).
+    pub fn replay<F>(factory: &F, search: &SearchConfig, master_seed: u64, walks: usize) -> Self
+    where
+        F: EvaluatorFactory,
+    {
+        assert!(walks > 0, "a replay needs at least one walk");
+        let engine = AdaptiveSearch::new(search.clone());
+        let seeds = WalkSeeds::new(master_seed);
+        let runs = (0..walks)
+            .map(|walk_id| Self::one_walk(factory, &engine, &seeds, walk_id))
+            .collect();
+        Self { master_seed, runs }
+    }
+
+    /// Replay `walks` walks using the rayon pool to speed up the replay
+    /// itself; the result is identical to [`SimulatedMultiWalk::replay`]
+    /// because each walk's stream depends only on `(master_seed, walk_id)`.
+    pub fn replay_parallel<F>(
+        factory: &F,
+        search: &SearchConfig,
+        master_seed: u64,
+        walks: usize,
+    ) -> Self
+    where
+        F: EvaluatorFactory,
+    {
+        assert!(walks > 0, "a replay needs at least one walk");
+        let engine = AdaptiveSearch::new(search.clone());
+        let seeds = WalkSeeds::new(master_seed);
+        let runs: Vec<SimulatedRun> = (0..walks)
+            .into_par_iter()
+            .map(|walk_id| Self::one_walk(factory, &engine, &seeds, walk_id))
+            .collect();
+        Self { master_seed, runs }
+    }
+
+    fn one_walk<F>(
+        factory: &F,
+        engine: &AdaptiveSearch,
+        seeds: &WalkSeeds,
+        walk_id: usize,
+    ) -> SimulatedRun
+    where
+        F: EvaluatorFactory,
+    {
+        let mut evaluator = factory.build();
+        let mut rng = seeds.rng_of(walk_id);
+        let outcome = engine.solve_with_stop(&mut evaluator, &mut rng, &StopControl::new());
+        SimulatedRun {
+            walk_id,
+            seed: seeds.seed_of(walk_id),
+            outcome,
+        }
+    }
+
+    /// The master seed of the replay.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Number of replayed walks.
+    #[must_use]
+    pub fn walks(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Per-walk replays, ordered by walk index.
+    #[must_use]
+    pub fn runs(&self) -> &[SimulatedRun] {
+        &self.runs
+    }
+
+    /// Iterations-to-solution of every *solved* walk, in walk order.
+    #[must_use]
+    pub fn solved_iterations(&self) -> Vec<u64> {
+        self.runs
+            .iter()
+            .filter(|r| r.outcome.solved())
+            .map(|r| r.outcome.stats.iterations)
+            .collect()
+    }
+
+    /// Fraction of walks that found a solution within their budget.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().filter(|r| r.outcome.solved()).count() as f64 / self.runs.len() as f64
+    }
+
+    /// The iteration count a `p`-walk parallel run would have needed: the
+    /// minimum iterations-to-solution among the first `p` walks (`None` if
+    /// none of them solved the problem within its budget).
+    #[must_use]
+    pub fn parallel_iterations(&self, p: usize) -> Option<u64> {
+        assert!(p >= 1, "at least one walk is needed");
+        self.runs
+            .iter()
+            .take(p)
+            .filter(|r| r.outcome.solved())
+            .map(|r| r.outcome.stats.iterations)
+            .min()
+    }
+
+    /// Index of the walk that would win a `p`-walk run.
+    #[must_use]
+    pub fn winner(&self, p: usize) -> Option<usize> {
+        self.runs
+            .iter()
+            .take(p)
+            .filter(|r| r.outcome.solved())
+            .min_by_key(|r| (r.outcome.stats.iterations, r.walk_id))
+            .map(|r| r.walk_id)
+    }
+
+    /// Mean sequential iterations-to-solution over the solved walks (the
+    /// baseline of every speedup in the paper's figures).
+    #[must_use]
+    pub fn mean_sequential_iterations(&self) -> Option<f64> {
+        let solved = self.solved_iterations();
+        if solved.is_empty() {
+            None
+        } else {
+            Some(solved.iter().sum::<u64>() as f64 / solved.len() as f64)
+        }
+    }
+
+    /// Empirical speedup of a `p`-walk run over the mean sequential run,
+    /// measured in iterations (the paper's machine-independent definition).
+    #[must_use]
+    pub fn speedup(&self, p: usize) -> Option<f64> {
+        let seq = self.mean_sequential_iterations()?;
+        let par = self.parallel_iterations(p)? as f64;
+        if par > 0.0 {
+            Some(seq / par)
+        } else {
+            // A zero-iteration win means the initial configuration was already
+            // a solution; report the largest finite speedup we can justify.
+            Some(seq.max(1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbls_core::Evaluator;
+
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+    }
+
+    fn quick_search() -> SearchConfig {
+        SearchConfig::builder()
+            .max_iterations_per_restart(10_000)
+            .max_restarts(2)
+            .build()
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = SimulatedMultiWalk::replay(&|| Sort(20), &quick_search(), 7, 6);
+        let b = SimulatedMultiWalk::replay(&|| Sort(20), &quick_search(), 7, 6);
+        assert_eq!(a.walks(), 6);
+        for (ra, rb) in a.runs().iter().zip(b.runs().iter()) {
+            assert_eq!(ra.outcome.stats.iterations, rb.outcome.stats.iterations);
+            assert_eq!(ra.seed, rb.seed);
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_sequential_replay() {
+        let a = SimulatedMultiWalk::replay(&|| Sort(18), &quick_search(), 11, 8);
+        let b = SimulatedMultiWalk::replay_parallel(&|| Sort(18), &quick_search(), 11, 8);
+        for (ra, rb) in a.runs().iter().zip(b.runs().iter()) {
+            assert_eq!(ra.walk_id, rb.walk_id);
+            assert_eq!(ra.outcome.stats.iterations, rb.outcome.stats.iterations);
+        }
+    }
+
+    #[test]
+    fn parallel_iterations_is_monotone_in_walks() {
+        let sim = SimulatedMultiWalk::replay(&|| Sort(24), &quick_search(), 3, 12);
+        assert!((sim.success_rate() - 1.0).abs() < 1e-12);
+        let mut last = u64::MAX;
+        for p in 1..=12 {
+            let it = sim.parallel_iterations(p).unwrap();
+            assert!(it <= last, "min over more walks cannot increase");
+            last = it;
+        }
+    }
+
+    #[test]
+    fn winner_is_the_fastest_of_the_prefix() {
+        let sim = SimulatedMultiWalk::replay(&|| Sort(24), &quick_search(), 5, 6);
+        for p in 1..=6 {
+            let w = sim.winner(p).unwrap();
+            assert!(w < p);
+            let w_iters = sim.runs()[w].outcome.stats.iterations;
+            assert_eq!(w_iters, sim.parallel_iterations(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_walks_on_average() {
+        let sim = SimulatedMultiWalk::replay(&|| Sort(30), &quick_search(), 9, 16);
+        let s1 = sim.speedup(1).unwrap();
+        let s16 = sim.speedup(16).unwrap();
+        assert!(s1 > 0.0);
+        assert!(s16 >= s1, "more walks cannot be slower: {s1} vs {s16}");
+    }
+
+    #[test]
+    fn replay_agrees_with_true_thread_backend() {
+        // Walk i's iteration count must be identical whether replayed
+        // sequentially or run as a real thread (when it runs to completion).
+        let search = quick_search();
+        let sim = SimulatedMultiWalk::replay(&|| Sort(16), &search, 21, 3);
+        let threads = crate::run_threads(
+            &|| Sort(16),
+            &crate::MultiWalkConfig {
+                walks: 3,
+                master_seed: 21,
+                search,
+                timeout: None,
+            },
+        );
+        for (s, t) in sim.runs().iter().zip(threads.reports.iter()) {
+            if t.outcome.solved() {
+                assert_eq!(s.outcome.stats.iterations, t.outcome.stats.iterations);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_walk_replay_is_rejected() {
+        let _ = SimulatedMultiWalk::replay(&|| Sort(4), &quick_search(), 1, 0);
+    }
+}

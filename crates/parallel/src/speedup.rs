@@ -1,0 +1,226 @@
+//! Speedup bookkeeping: the quantities the paper's figures plot.
+//!
+//! Figure 1 and 2 plot speedup versus number of cores against the ideal
+//! (linear) line; Figure 3 plots the Costas speedup *relative to 32 cores* on
+//! a log-log scale.  The helpers here turn per-core-count measurements into
+//! those series, so both the simulated harness and a real multi-machine run
+//! produce tables in the same shape.
+
+use serde::{Deserialize, Serialize};
+
+/// A single point of a speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Number of cores / independent walks.
+    pub cores: usize,
+    /// Mean cost (time in seconds, or iterations) of the parallel run.
+    pub cost: f64,
+    /// Speedup relative to the curve's baseline.
+    pub speedup: f64,
+}
+
+/// A speedup curve: a baseline cost and one point per core count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupCurve {
+    /// Label of the benchmark / platform the curve belongs to.
+    pub label: String,
+    /// Core count the speedups are measured against (1 for absolute
+    /// speedups, 32 for the paper's Figure 3).
+    pub baseline_cores: usize,
+    /// Cost at the baseline core count.
+    pub baseline_cost: f64,
+    /// Points of the curve, ordered by core count.
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupCurve {
+    /// Build a curve from `(cores, cost)` measurements, using the cost at
+    /// `baseline_cores` as the reference.  Measurements are sorted by core
+    /// count; the baseline must be one of the measured core counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurements` is empty, contains a non-positive cost, or
+    /// does not contain `baseline_cores`.
+    #[must_use]
+    pub fn from_measurements(
+        label: impl Into<String>,
+        baseline_cores: usize,
+        measurements: &[(usize, f64)],
+    ) -> Self {
+        assert!(!measurements.is_empty(), "no measurements provided");
+        assert!(
+            measurements.iter().all(|&(_, c)| c > 0.0),
+            "costs must be positive"
+        );
+        let mut sorted: Vec<(usize, f64)> = measurements.to_vec();
+        sorted.sort_by_key(|&(cores, _)| cores);
+        let baseline_cost = sorted
+            .iter()
+            .find(|&&(cores, _)| cores == baseline_cores)
+            .map(|&(_, cost)| cost)
+            .expect("baseline core count must be among the measurements");
+        let points = sorted
+            .iter()
+            .map(|&(cores, cost)| SpeedupPoint {
+                cores,
+                cost,
+                speedup: baseline_cost / cost,
+            })
+            .collect();
+        Self {
+            label: label.into(),
+            baseline_cores,
+            baseline_cost,
+            points,
+        }
+    }
+
+    /// The speedup measured at `cores`, if that core count was measured.
+    #[must_use]
+    pub fn speedup_at(&self, cores: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.cores == cores)
+            .map(|p| p.speedup)
+    }
+
+    /// The ideal (linear) speedup at `cores` relative to the baseline.
+    #[must_use]
+    pub fn ideal_at(&self, cores: usize) -> f64 {
+        cores as f64 / self.baseline_cores as f64
+    }
+
+    /// Parallel efficiency at `cores` (measured speedup / ideal speedup).
+    #[must_use]
+    pub fn efficiency_at(&self, cores: usize) -> Option<f64> {
+        self.speedup_at(cores).map(|s| s / self.ideal_at(cores))
+    }
+
+    /// Re-express the curve relative to a different baseline core count
+    /// (e.g. the paper's Figure 3 normalizes the Costas curve to 32 cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new baseline was not measured.
+    #[must_use]
+    pub fn rebased(&self, baseline_cores: usize) -> Self {
+        let measurements: Vec<(usize, f64)> =
+            self.points.iter().map(|p| (p.cores, p.cost)).collect();
+        Self::from_measurements(self.label.clone(), baseline_cores, &measurements)
+    }
+
+    /// `true` when every measured doubling of cores halves the cost to
+    /// within `tolerance` (the paper's criterion for "ideal speedup" on the
+    /// Costas array problem).
+    #[must_use]
+    pub fn is_nearly_ideal(&self, tolerance: f64) -> bool {
+        self.points.windows(2).all(|w| {
+            let (a, b) = (&w[0], &w[1]);
+            let expected = a.speedup * (b.cores as f64 / a.cores as f64);
+            (b.speedup / expected - 1.0).abs() <= tolerance
+        })
+    }
+}
+
+/// Summarize several per-benchmark speedups into the paper's headline form
+/// ("speedups of about 30 with 64 cores, 40 with 128, more than 50 with
+/// 256"): the arithmetic mean of each benchmark's speedup at every core
+/// count present in all curves.
+#[must_use]
+pub fn mean_speedup_by_cores(curves: &[SpeedupCurve]) -> Vec<(usize, f64)> {
+    if curves.is_empty() {
+        return Vec::new();
+    }
+    let mut common: Vec<usize> = curves[0].points.iter().map(|p| p.cores).collect();
+    common.retain(|c| curves.iter().all(|curve| curve.speedup_at(*c).is_some()));
+    common
+        .into_iter()
+        .map(|cores| {
+            let mean = curves
+                .iter()
+                .filter_map(|c| c.speedup_at(cores))
+                .sum::<f64>()
+                / curves.len() as f64;
+            (cores, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_curve() -> SpeedupCurve {
+        // cost halves as cores double: exactly ideal
+        let m: Vec<(usize, f64)> = [32usize, 64, 128, 256]
+            .iter()
+            .map(|&c| (c, 1024.0 / c as f64))
+            .collect();
+        SpeedupCurve::from_measurements("ideal", 32, &m)
+    }
+
+    #[test]
+    fn speedups_relative_to_baseline() {
+        let c = ideal_curve();
+        assert_eq!(c.baseline_cost, 32.0);
+        assert_eq!(c.speedup_at(32), Some(1.0));
+        assert_eq!(c.speedup_at(64), Some(2.0));
+        assert_eq!(c.speedup_at(256), Some(8.0));
+        assert_eq!(c.speedup_at(512), None);
+    }
+
+    #[test]
+    fn ideal_and_efficiency() {
+        let c = ideal_curve();
+        assert_eq!(c.ideal_at(64), 2.0);
+        assert_eq!(c.efficiency_at(64), Some(1.0));
+        assert!(c.is_nearly_ideal(1e-9));
+    }
+
+    #[test]
+    fn saturating_curve_is_not_ideal() {
+        let m = [(1usize, 100.0), (2, 60.0), (4, 45.0), (8, 40.0)];
+        let c = SpeedupCurve::from_measurements("saturating", 1, &m);
+        assert!(!c.is_nearly_ideal(0.05));
+        assert!(c.speedup_at(8).unwrap() < 8.0);
+        assert!(c.efficiency_at(8).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn rebasing_changes_the_reference() {
+        let c = ideal_curve().rebased(64);
+        assert_eq!(c.speedup_at(64), Some(1.0));
+        assert_eq!(c.speedup_at(256), Some(4.0));
+        assert_eq!(c.baseline_cores, 64);
+    }
+
+    #[test]
+    fn measurements_are_sorted_by_cores() {
+        let m = [(8usize, 10.0), (1, 80.0), (4, 20.0)];
+        let c = SpeedupCurve::from_measurements("unsorted", 1, &m);
+        let cores: Vec<usize> = c.points.iter().map(|p| p.cores).collect();
+        assert_eq!(cores, vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn mean_speedups_across_benchmarks() {
+        let a = SpeedupCurve::from_measurements("a", 1, &[(1, 100.0), (2, 50.0)]);
+        let b = SpeedupCurve::from_measurements("b", 1, &[(1, 100.0), (2, 100.0)]);
+        let means = mean_speedup_by_cores(&[a, b]);
+        assert_eq!(means, vec![(1, 1.0), (2, 1.5)]);
+        assert!(mean_speedup_by_cores(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline core count")]
+    fn missing_baseline_panics() {
+        let _ = SpeedupCurve::from_measurements("bad", 16, &[(1, 1.0), (2, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_costs_are_rejected() {
+        let _ = SpeedupCurve::from_measurements("bad", 1, &[(1, 0.0)]);
+    }
+}

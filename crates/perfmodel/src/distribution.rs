@@ -1,0 +1,330 @@
+//! Empirical runtime distributions.
+//!
+//! Everything the multi-walk analysis needs is derived from a sample of
+//! sequential runs: the mean, the spread, and — crucially — the expected
+//! minimum of `p` independent draws, which *is* the expected parallel run
+//! time of `p` independent walks (up to platform overheads).
+
+use as_rng::RandomSource;
+use serde::{Deserialize, Serialize};
+
+/// A sample of non-negative measurements (iterations-to-solution or seconds)
+/// treated as an empirical distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalDistribution {
+    /// The measurements, sorted ascending.
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalDistribution {
+    /// Build a distribution from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains negative / non-finite values.
+    #[must_use]
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "an empirical distribution needs samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "samples must be finite and non-negative"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Self { sorted }
+    }
+
+    /// Build a distribution from iteration counts.
+    #[must_use]
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let as_f64: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::new(&as_f64)
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed value, but
+    /// kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sample standard deviation (0 for a single observation).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .sorted
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (`std_dev / mean`).
+    ///
+    /// The multi-walk literature's rule of thumb: a CoV near 1 (exponential
+    /// behaviour) yields near-linear speedups; a CoV well below 1 (a large
+    /// deterministic component) yields saturating speedups.
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Empirical quantile in `[0, 1]` (nearest-rank).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Median (0.5 quantile).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Empirical CDF at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        let below = self.sorted.partition_point(|&v| v <= x);
+        below as f64 / self.sorted.len() as f64
+    }
+
+    /// Exact expectation of the minimum of `p` independent draws (with
+    /// replacement) from the empirical distribution.
+    ///
+    /// Using the sorted samples `x₁ ≤ … ≤ x_n`, the minimum of `p` draws
+    /// equals `x_i` with probability `((n−i+1)/n)ᵖ − ((n−i)/n)ᵖ`, so the
+    /// expectation is a single weighted sum — no Monte Carlo needed.  This is
+    /// the quantity the paper's speedup analysis calls "the parallel run
+    /// time with p processes".
+    #[must_use]
+    pub fn expected_min_of(&self, p: usize) -> f64 {
+        assert!(p >= 1, "the minimum of zero draws is undefined");
+        let n = self.sorted.len() as f64;
+        let p_exp = p as f64;
+        let mut expectation = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            // probability that the minimum is the i-th order statistic
+            let upper = ((n - i as f64) / n).powf(p_exp);
+            let lower = ((n - i as f64 - 1.0) / n).powf(p_exp);
+            expectation += x * (upper - lower);
+        }
+        expectation
+    }
+
+    /// Monte-Carlo estimate of the expected minimum of `p` draws, using
+    /// `rounds` resampling rounds.  Provided as an independent cross-check of
+    /// [`expected_min_of`](Self::expected_min_of) (used by the tests and the
+    /// EXPERIMENTS notebook).
+    #[must_use]
+    pub fn expected_min_of_monte_carlo<R: RandomSource + ?Sized>(
+        &self,
+        p: usize,
+        rounds: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(p >= 1 && rounds >= 1);
+        let mut total = 0.0;
+        for _ in 0..rounds {
+            let mut min = f64::INFINITY;
+            for _ in 0..p {
+                let x = self.sorted[rng.index(self.sorted.len())];
+                if x < min {
+                    min = x;
+                }
+            }
+            total += min;
+        }
+        total / rounds as f64
+    }
+
+    /// Fit an exponential distribution by matching the mean.
+    #[must_use]
+    pub fn fit_exponential(&self) -> f64 {
+        self.mean()
+    }
+
+    /// Fit a shifted exponential `shift + Exp(scale)` by matching the minimum
+    /// (shift) and the mean (`scale = mean − shift`).  Returns
+    /// `(shift, scale)`.
+    #[must_use]
+    pub fn fit_shifted_exponential(&self) -> (f64, f64) {
+        let shift = self.min();
+        let scale = (self.mean() - shift).max(0.0);
+        (shift, scale)
+    }
+
+    /// Kolmogorov–Smirnov distance between the sample and a shifted
+    /// exponential with the given parameters (a small distance means the
+    /// "linear speedup" regime of the paper applies).
+    #[must_use]
+    pub fn ks_distance_shifted_exponential(&self, shift: f64, scale: f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut worst: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let model = if x <= shift || scale <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-(x - shift) / scale).exp()
+            };
+            let emp_hi = (i as f64 + 1.0) / n;
+            let emp_lo = i as f64 / n;
+            worst = worst.max((model - emp_hi).abs()).max((model - emp_lo).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_rng::{default_rng, exponential};
+
+    #[test]
+    fn basic_statistics() {
+        let d = EmpiricalDistribution::new(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 4.0);
+        assert_eq!(d.median(), 2.0);
+        assert!((d.std_dev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantiles_are_consistent() {
+        let d = EmpiricalDistribution::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(2.0), 0.5);
+        assert_eq!(d.cdf(10.0), 1.0);
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 4.0);
+        assert_eq!(d.quantile(0.25), 1.0);
+        assert_eq!(d.quantile(0.75), 3.0);
+    }
+
+    #[test]
+    fn expected_min_of_one_is_the_mean() {
+        let d = EmpiricalDistribution::new(&[5.0, 1.0, 3.0]);
+        assert!((d.expected_min_of(1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_min_decreases_and_converges_to_the_minimum() {
+        let d = EmpiricalDistribution::new(&[1.0, 2.0, 4.0, 8.0, 16.0]);
+        let mut last = f64::INFINITY;
+        for p in 1..=64 {
+            let m = d.expected_min_of(p);
+            assert!(m <= last + 1e-12);
+            assert!(m >= d.min() - 1e-12);
+            last = m;
+        }
+        assert!((d.expected_min_of(4096) - d.min()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn analytic_and_monte_carlo_minima_agree() {
+        let mut rng = default_rng(42);
+        let samples: Vec<f64> = (0..400).map(|_| exponential(&mut rng, 10.0)).collect();
+        let d = EmpiricalDistribution::new(&samples);
+        for p in [2usize, 8, 32] {
+            let exact = d.expected_min_of(p);
+            let mc = d.expected_min_of_monte_carlo(p, 20_000, &mut rng);
+            assert!(
+                (exact - mc).abs() / exact < 0.1,
+                "p = {p}: exact {exact}, mc {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_samples_have_cov_near_one() {
+        let mut rng = default_rng(7);
+        let samples: Vec<f64> = (0..3000).map(|_| exponential(&mut rng, 5.0)).collect();
+        let d = EmpiricalDistribution::new(&samples);
+        assert!((d.coefficient_of_variation() - 1.0).abs() < 0.15);
+        // and the expected min of p draws is close to mean / p (linear speedup)
+        for p in [2usize, 4, 16] {
+            let ratio = d.mean() / d.expected_min_of(p);
+            let relative_gap = (ratio - p as f64).abs() / (p as f64);
+            assert!(relative_gap < 0.25, "p = {p}, ratio = {ratio}");
+        }
+    }
+
+    #[test]
+    fn shifted_exponential_fit_and_ks() {
+        let mut rng = default_rng(9);
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| 100.0 + exponential(&mut rng, 20.0))
+            .collect();
+        let d = EmpiricalDistribution::new(&samples);
+        let (shift, scale) = d.fit_shifted_exponential();
+        assert!(shift >= 100.0 && shift < 101.0, "shift = {shift}");
+        assert!((scale - 20.0).abs() < 3.0, "scale = {scale}");
+        assert!(d.ks_distance_shifted_exponential(shift, scale) < 0.1);
+        // a deliberately wrong model has a much larger distance
+        assert!(d.ks_distance_shifted_exponential(0.0, 1.0) > 0.5);
+    }
+
+    #[test]
+    fn from_counts_matches_new() {
+        let a = EmpiricalDistribution::from_counts(&[1, 2, 3]);
+        let b = EmpiricalDistribution::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_sample_is_rejected() {
+        let _ = EmpiricalDistribution::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_samples_are_rejected() {
+        let _ = EmpiricalDistribution::new(&[1.0, -2.0]);
+    }
+}

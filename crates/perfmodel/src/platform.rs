@@ -1,0 +1,236 @@
+//! Models of the hardware platforms used in the paper.
+//!
+//! The paper runs on the Hitachi **HA8000** supercomputer of the University
+//! of Tokyo (952 nodes × 4 quad-core AMD Opteron 8356 @ 2.3 GHz, 16 cores
+//! per node, up to 256 cores used) and on two **Grid'5000** clusters at
+//! Sophia-Antipolis: *Suno* (45 Dell PowerEdge R410, 8 cores each, 360 cores
+//! total) and *Helios* (56 Sun Fire X4100, 4 cores each, 224 cores total).
+//!
+//! A [`Platform`] captures the aspects of those machines that matter for
+//! independent multi-walk runs: how many cores can be used, how fast one core
+//! executes engine iterations relative to the reference machine, and how much
+//! fixed start-up overhead a parallel job pays (MPI launch, input
+//! distribution).  The overhead term is what makes very short runs stop
+//! scaling — the effect the paper observes on `perfect-square` at 128/256
+//! cores, where runs drop under one second.
+
+use serde::{Deserialize, Serialize};
+
+/// The platforms of the paper's evaluation (plus the local machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Hitachi HA8000 (University of Tokyo), the paper's supercomputer.
+    Ha8000,
+    /// Grid'5000 Suno cluster (Sophia-Antipolis).
+    Grid5000Suno,
+    /// Grid'5000 Helios cluster (Sophia-Antipolis).
+    Grid5000Helios,
+    /// The machine the harness runs on (no scaling, no start-up overhead).
+    Local,
+}
+
+/// A parallel platform model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Which machine this models.
+    pub kind: PlatformKind,
+    /// Human-readable name used in figure output.
+    pub name: String,
+    /// Number of nodes in the machine.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Largest core count exercised by the paper on this machine.
+    pub max_cores_used: usize,
+    /// Speed of one core relative to the reference core on which the
+    /// sequential distribution was measured (1.0 = same speed).
+    pub relative_core_speed: f64,
+    /// Fixed start-up overhead of a parallel job, in seconds.
+    pub startup_overhead_secs: f64,
+}
+
+impl Platform {
+    /// The HA8000 model.
+    #[must_use]
+    pub fn ha8000() -> Self {
+        Self {
+            kind: PlatformKind::Ha8000,
+            name: "HA8000".to_string(),
+            nodes: 952,
+            cores_per_node: 16,
+            max_cores_used: 256,
+            relative_core_speed: 1.0,
+            startup_overhead_secs: 0.15,
+        }
+    }
+
+    /// The Grid'5000 Suno model (slightly faster cores, higher start-up
+    /// overhead than HA8000 because jobs span more distributed nodes).
+    #[must_use]
+    pub fn grid5000_suno() -> Self {
+        Self {
+            kind: PlatformKind::Grid5000Suno,
+            name: "Grid'5000 (Suno)".to_string(),
+            nodes: 45,
+            cores_per_node: 8,
+            max_cores_used: 256,
+            relative_core_speed: 1.1,
+            startup_overhead_secs: 0.35,
+        }
+    }
+
+    /// The Grid'5000 Helios model (fewer, slower cores).
+    #[must_use]
+    pub fn grid5000_helios() -> Self {
+        Self {
+            kind: PlatformKind::Grid5000Helios,
+            name: "Grid'5000 (Helios)".to_string(),
+            nodes: 56,
+            cores_per_node: 4,
+            max_cores_used: 224,
+            relative_core_speed: 0.8,
+            startup_overhead_secs: 0.35,
+        }
+    }
+
+    /// The local machine (identity mapping, no overhead).
+    #[must_use]
+    pub fn local() -> Self {
+        Self {
+            kind: PlatformKind::Local,
+            name: "local".to_string(),
+            nodes: 1,
+            cores_per_node: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_cores_used: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            relative_core_speed: 1.0,
+            startup_overhead_secs: 0.0,
+        }
+    }
+
+    /// All paper platforms, in the order they appear in the figures.
+    #[must_use]
+    pub fn paper_platforms() -> Vec<Platform> {
+        vec![Self::ha8000(), Self::grid5000_suno(), Self::grid5000_helios()]
+    }
+
+    /// Total cores of the machine.
+    #[must_use]
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Number of nodes needed to host `cores` single-threaded walks.
+    #[must_use]
+    pub fn nodes_for(&self, cores: usize) -> usize {
+        cores.div_ceil(self.cores_per_node)
+    }
+
+    /// Whether the paper's experiments could run `cores` walks on this
+    /// machine.
+    #[must_use]
+    pub fn supports(&self, cores: usize) -> bool {
+        cores >= 1 && cores <= self.total_cores()
+    }
+
+    /// Convert an engine-iteration count into simulated seconds on one core
+    /// of this platform, given the measured iteration throughput of the
+    /// reference machine (iterations per second).
+    #[must_use]
+    pub fn seconds_for_iterations(&self, iterations: f64, reference_iters_per_sec: f64) -> f64 {
+        assert!(reference_iters_per_sec > 0.0, "throughput must be positive");
+        iterations / (reference_iters_per_sec * self.relative_core_speed)
+    }
+
+    /// Simulated wall-clock time of a parallel job whose slowest surviving
+    /// walk performs `iterations` engine iterations.
+    #[must_use]
+    pub fn parallel_job_seconds(&self, iterations: f64, reference_iters_per_sec: f64) -> f64 {
+        self.startup_overhead_secs + self.seconds_for_iterations(iterations, reference_iters_per_sec)
+    }
+
+    /// The core counts the paper sweeps on this platform (powers of two from
+    /// 16 up to `max_cores_used`).
+    #[must_use]
+    pub fn paper_core_counts(&self) -> Vec<usize> {
+        let mut cores = Vec::new();
+        let mut c = 16;
+        while c <= self.max_cores_used {
+            cores.push(c);
+            c *= 2;
+        }
+        cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_inventories_match_the_paper() {
+        let ha = Platform::ha8000();
+        assert_eq!(ha.total_cores(), 15232, "HA8000 has 15232 cores in total");
+        assert_eq!(ha.paper_core_counts(), vec![16, 32, 64, 128, 256]);
+
+        let suno = Platform::grid5000_suno();
+        assert_eq!(suno.total_cores(), 360, "Suno is 45 nodes of 8 cores");
+
+        let helios = Platform::grid5000_helios();
+        assert_eq!(helios.total_cores(), 224, "Helios is 56 nodes of 4 cores");
+        assert_eq!(helios.paper_core_counts(), vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn node_packing() {
+        let ha = Platform::ha8000();
+        assert_eq!(ha.nodes_for(1), 1);
+        assert_eq!(ha.nodes_for(16), 1);
+        assert_eq!(ha.nodes_for(17), 2);
+        assert_eq!(ha.nodes_for(256), 16);
+    }
+
+    #[test]
+    fn supports_respects_machine_size() {
+        let helios = Platform::grid5000_helios();
+        assert!(helios.supports(224));
+        assert!(!helios.supports(225));
+        assert!(!helios.supports(0));
+        assert!(Platform::ha8000().supports(1024));
+    }
+
+    #[test]
+    fn time_conversion_scales_with_core_speed() {
+        let ha = Platform::ha8000();
+        let suno = Platform::grid5000_suno();
+        // one million iterations at one million iterations/sec = 1 second on
+        // the reference core
+        let t_ha = ha.seconds_for_iterations(1e6, 1e6);
+        let t_suno = suno.seconds_for_iterations(1e6, 1e6);
+        assert!((t_ha - 1.0).abs() < 1e-12);
+        assert!(t_suno < t_ha, "Suno cores are modelled slightly faster");
+        // job time adds the start-up overhead
+        assert!(ha.parallel_job_seconds(1e6, 1e6) > t_ha);
+    }
+
+    #[test]
+    fn local_platform_is_an_identity() {
+        let local = Platform::local();
+        assert_eq!(local.startup_overhead_secs, 0.0);
+        assert_eq!(local.relative_core_speed, 1.0);
+        assert_eq!(local.parallel_job_seconds(5e5, 1e6), 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::grid5000_suno();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_is_rejected() {
+        let _ = Platform::ha8000().seconds_for_iterations(1.0, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Predicting multi-walk speedups on the modelled platforms.
+//!
+//! A [`SpeedupModel`] combines a measured sequential runtime distribution
+//! (iterations-to-solution), the reference machine's iteration throughput and
+//! a [`Platform`] model into the quantity the paper plots: the expected wall
+//! clock of a `p`-core independent multi-walk run, and its speedup relative
+//! to a chosen baseline core count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::EmpiricalDistribution;
+use crate::platform::Platform;
+
+/// One predicted point of a speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedPoint {
+    /// Core count (number of independent walks).
+    pub cores: usize,
+    /// Expected iterations of the winning walk.
+    pub expected_iterations: f64,
+    /// Expected wall-clock seconds on the modelled platform (including the
+    /// start-up overhead).
+    pub expected_seconds: f64,
+    /// Speedup relative to the prediction's baseline core count.
+    pub speedup: f64,
+    /// Ideal (linear) speedup at this core count.
+    pub ideal_speedup: f64,
+}
+
+/// A full predicted speedup curve for one benchmark on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPrediction {
+    /// Benchmark label.
+    pub benchmark: String,
+    /// Platform name.
+    pub platform: String,
+    /// Core count used as the speedup baseline.
+    pub baseline_cores: usize,
+    /// Expected wall-clock seconds at the baseline core count.
+    pub baseline_seconds: f64,
+    /// The predicted points, ordered by core count.
+    pub points: Vec<PredictedPoint>,
+}
+
+impl SpeedupPrediction {
+    /// The predicted speedup at `cores`, if that core count is present.
+    #[must_use]
+    pub fn speedup_at(&self, cores: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.cores == cores)
+            .map(|p| p.speedup)
+    }
+
+    /// Parallel efficiency (speedup / ideal) at `cores`.
+    #[must_use]
+    pub fn efficiency_at(&self, cores: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.cores == cores)
+            .map(|p| p.speedup / p.ideal_speedup)
+    }
+}
+
+/// A speedup predictor for one benchmark on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupModel {
+    /// Benchmark label carried into the prediction.
+    pub benchmark: String,
+    /// The measured distribution of sequential iterations-to-solution.
+    pub distribution: EmpiricalDistribution,
+    /// Measured iteration throughput of the reference machine (iterations
+    /// per second of one engine on one core).
+    pub reference_iterations_per_sec: f64,
+    /// The platform the prediction is for.
+    pub platform: Platform,
+}
+
+impl SpeedupModel {
+    /// Create a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the throughput is not positive.
+    #[must_use]
+    pub fn new(
+        benchmark: impl Into<String>,
+        distribution: EmpiricalDistribution,
+        reference_iterations_per_sec: f64,
+        platform: Platform,
+    ) -> Self {
+        assert!(
+            reference_iterations_per_sec > 0.0,
+            "iteration throughput must be positive"
+        );
+        Self {
+            benchmark: benchmark.into(),
+            distribution,
+            reference_iterations_per_sec,
+            platform,
+        }
+    }
+
+    /// Expected wall-clock seconds of a `cores`-walk run on the platform.
+    #[must_use]
+    pub fn expected_seconds(&self, cores: usize) -> f64 {
+        let iters = self.distribution.expected_min_of(cores);
+        self.platform
+            .parallel_job_seconds(iters, self.reference_iterations_per_sec)
+    }
+
+    /// Predict the speedup curve over `core_counts`, relative to
+    /// `baseline_cores` (1 for the absolute speedups of Figures 1 and 2,
+    /// 32 for Figure 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_counts` is empty or does not contain `baseline_cores`.
+    #[must_use]
+    pub fn predict(&self, core_counts: &[usize], baseline_cores: usize) -> SpeedupPrediction {
+        assert!(!core_counts.is_empty(), "no core counts requested");
+        assert!(
+            core_counts.contains(&baseline_cores),
+            "baseline core count must be part of the sweep"
+        );
+        let mut cores: Vec<usize> = core_counts.to_vec();
+        cores.sort_unstable();
+        cores.dedup();
+
+        let baseline_seconds = self.expected_seconds(baseline_cores);
+        let points = cores
+            .iter()
+            .map(|&c| {
+                let expected_iterations = self.distribution.expected_min_of(c);
+                let expected_seconds = self
+                    .platform
+                    .parallel_job_seconds(expected_iterations, self.reference_iterations_per_sec);
+                PredictedPoint {
+                    cores: c,
+                    expected_iterations,
+                    expected_seconds,
+                    speedup: baseline_seconds / expected_seconds,
+                    ideal_speedup: c as f64 / baseline_cores as f64,
+                }
+            })
+            .collect();
+
+        SpeedupPrediction {
+            benchmark: self.benchmark.clone(),
+            platform: self.platform.name.clone(),
+            baseline_cores,
+            baseline_seconds,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_rng::{default_rng, exponential, shifted_exponential};
+
+    fn exponential_distribution(mean: f64, n: usize, seed: u64) -> EmpiricalDistribution {
+        let mut rng = default_rng(seed);
+        EmpiricalDistribution::new(&(0..n).map(|_| exponential(&mut rng, mean)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn exponential_runtimes_predict_near_linear_speedup() {
+        // mean 1e6 iterations at 1e4 iterations/s ≈ 100 s sequential runs, so
+        // the 0.15 s start-up overhead is negligible and the exponential
+        // shape dominates.
+        let d = exponential_distribution(1e6, 3000, 1);
+        let model = SpeedupModel::new("cap", d, 1e4, Platform::ha8000());
+        let prediction = model.predict(&[1, 2, 4, 8, 16, 32, 64], 1);
+        for point in &prediction.points {
+            let efficiency = point.speedup / point.ideal_speedup;
+            assert!(
+                efficiency > 0.55,
+                "cores {}: efficiency {efficiency}",
+                point.cores
+            );
+        }
+        // speedup grows monotonically
+        let speedups: Vec<f64> = prediction.points.iter().map(|p| p.speedup).collect();
+        assert!(speedups.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn deterministic_component_saturates_the_curve() {
+        let mut rng = default_rng(5);
+        let samples: Vec<f64> = (0..3000)
+            .map(|_| shifted_exponential(&mut rng, 8e5, 2e5))
+            .collect();
+        let d = EmpiricalDistribution::new(&samples);
+        let model = SpeedupModel::new("csplib", d, 1e5, Platform::ha8000());
+        let prediction = model.predict(&[1, 16, 64, 256], 1);
+        let s256 = prediction.speedup_at(256).unwrap();
+        // the asymptotic bound is (8e5+2e5)/8e5 = 1.25 plus overhead effects
+        assert!(s256 < 2.0, "saturating curve should stay well below ideal, got {s256}");
+        assert!(prediction.efficiency_at(256).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn startup_overhead_hurts_short_runs_more() {
+        // Short runs (sub-second): Grid'5000's larger start-up overhead
+        // visibly caps the speedup, the effect the paper reports for
+        // perfect-square at 128/256 cores.
+        let d = exponential_distribution(5e5, 2000, 9);
+        let fast = SpeedupModel::new("ps", d.clone(), 1e6, Platform::ha8000());
+        let slow = SpeedupModel::new("ps", d, 1e6, Platform::grid5000_suno());
+        let cores = [1usize, 32, 256];
+        let fast_speedup = fast.predict(&cores, 1).speedup_at(256).unwrap();
+        let slow_speedup = slow.predict(&cores, 1).speedup_at(256).unwrap();
+        // both saturate, and the platform with the larger overhead saturates
+        // harder relative to its own baseline
+        assert!(fast_speedup < 256.0);
+        assert!(slow_speedup < fast_speedup * 1.5);
+    }
+
+    #[test]
+    fn rebasing_to_32_cores_matches_figure_3_conventions() {
+        // CAP 22 sequentially takes hours; model that regime (long runs, so
+        // start-up overhead is irrelevant and the curve stays near-ideal).
+        let d = exponential_distribution(1e7, 3000, 11);
+        let model = SpeedupModel::new("cap22", d, 1e4, Platform::ha8000());
+        let prediction = model.predict(&[32, 64, 128, 256], 32);
+        assert!((prediction.speedup_at(32).unwrap() - 1.0).abs() < 1e-9);
+        let s256 = prediction.speedup_at(256).unwrap();
+        assert!(s256 > 4.0, "256/32 = 8x ideal, expect near-ideal: {s256}");
+        assert_eq!(prediction.baseline_cores, 32);
+    }
+
+    #[test]
+    fn predictions_are_serializable() {
+        let d = exponential_distribution(100.0, 50, 3);
+        let model = SpeedupModel::new("x", d, 1e4, Platform::local());
+        let p = model.predict(&[1, 2], 1);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SpeedupPrediction = serde_json::from_str(&json).unwrap();
+        assert_eq!(p.benchmark, back.benchmark);
+        assert_eq!(p.platform, back.platform);
+        assert_eq!(p.baseline_cores, back.baseline_cores);
+        assert_eq!(p.points.len(), back.points.len());
+        for (a, b) in p.points.iter().zip(back.points.iter()) {
+            assert_eq!(a.cores, b.cores);
+            // JSON round-trips floats to within one ulp of the shortest
+            // representation; compare approximately.
+            assert!((a.speedup - b.speedup).abs() < 1e-9);
+            assert!((a.expected_seconds - b.expected_seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline core count")]
+    fn baseline_must_be_in_the_sweep() {
+        let d = exponential_distribution(100.0, 50, 4);
+        let model = SpeedupModel::new("x", d, 1e4, Platform::local());
+        let _ = model.predict(&[2, 4], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn throughput_must_be_positive() {
+        let d = exponential_distribution(100.0, 50, 5);
+        let _ = SpeedupModel::new("x", d, 0.0, Platform::local());
+    }
+}

@@ -1,0 +1,102 @@
+//! Scratch harness used while calibrating per-problem engine parameters.
+//!
+//! Run with `cargo run --release -p cbls-problems --example tune_scratch`.
+//! It sweeps a small grid of engine parameters per model and prints solve
+//! rates and mean iterations, which is how the `tune()` defaults shipped in
+//! this crate were chosen.
+
+use std::time::Instant;
+
+use as_rng::default_rng;
+use cbls_core::{AdaptiveSearch, Evaluator, SearchConfig};
+use cbls_problems::{AllInterval, AlphaCipher, CostasArray, MagicSquare, PerfectSquare};
+
+fn trial<E: Evaluator + Clone>(label: &str, problem: &E, config: &SearchConfig, runs: u64) {
+    let engine = AdaptiveSearch::new(config.clone());
+    let mut solved = 0;
+    let mut total_iters = 0u64;
+    let start = Instant::now();
+    for seed in 0..runs {
+        let mut p = problem.clone();
+        let out = engine.solve(&mut p, &mut default_rng(1000 + seed));
+        if out.solved() {
+            solved += 1;
+        }
+        total_iters += out.stats.iterations;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{label:<40} solved {solved}/{runs}  mean-iters {:>9.0}  total {:.2?}",
+        total_iters as f64 / runs as f64,
+        elapsed
+    );
+}
+
+fn sweep<E: Evaluator + Clone>(name: &str, problem: &E, runs: u64, per_restart: u64, restarts: u32) {
+    println!("--- {name} ---");
+    for plateau in [0.0, 0.1, 0.3] {
+        for freeze in [1u64, 3] {
+            for (rl_name, reset_limit) in [("rl3", 3usize), ("rl10%", (problem.size() / 10).max(2))] {
+                for plm in [0.0, 0.05] {
+                    let cfg = SearchConfig::builder()
+                        .plateau_probability(plateau)
+                        .freeze_duration(freeze)
+                        .reset_limit(reset_limit)
+                        .reset_fraction(0.1)
+                        .prob_select_local_min(plm)
+                        .max_iterations_per_restart(per_restart)
+                        .max_restarts(restarts)
+                        .build();
+                    trial(
+                        &format!("{name}/p{plateau}-f{freeze}-{rl_name}-plm{plm}"),
+                        problem,
+                        &cfg,
+                        runs,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+
+    if arg == "alpha" || arg == "all" {
+        println!("--- alpha (exhaustive mode) ---");
+        for (name, plateau, rl, frac, plm) in [
+            ("p0.5-rl20-fr0.5", 0.5, 20usize, 0.5, 0.0),
+            ("p0.5-rl50-fr0.25", 0.5, 50, 0.25, 0.0),
+            ("p1.0-rl30-fr1.0", 1.0, 30, 1.0, 0.02),
+            ("p0.2-rl10-fr0.5", 0.2, 10, 0.5, 0.05),
+            ("p0.8-rl40-fr0.3", 0.8, 40, 0.3, 0.0),
+        ] {
+            let cfg = SearchConfig::builder()
+                .exhaustive(true)
+                .plateau_probability(plateau)
+                .reset_limit(rl)
+                .reset_fraction(frac)
+                .prob_select_local_min(plm)
+                .max_iterations_per_restart(20_000)
+                .max_restarts(20)
+                .build();
+            trial(&format!("alpha-ex/{name}"), &AlphaCipher::standard(), &cfg, 5);
+        }
+        sweep("alpha", &AlphaCipher::standard(), 5, 50_000, 10);
+    }
+    if arg == "magic" || arg == "all" {
+        sweep("magic-6", &MagicSquare::new(6), 5, 50_000, 10);
+    }
+    if arg == "interval" || arg == "all" {
+        sweep("all-interval-14", &AllInterval::new(14), 5, 50_000, 10);
+    }
+    if arg == "psquare" || arg == "all" {
+        sweep("perfect-square-9", &PerfectSquare::order9(), 5, 20_000, 10);
+    }
+    if arg == "costas" || arg == "all" {
+        let c = CostasArray::new(12);
+        let mut cfg = SearchConfig::default();
+        c.tune(&mut cfg);
+        trial("costas-12/tuned", &c, &cfg, 10);
+    }
+}

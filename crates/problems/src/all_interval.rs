@@ -1,0 +1,313 @@
+//! All-Interval Series (CSPLib prob007).
+//!
+//! Arrange the numbers `0..n−1` in a sequence such that the absolute
+//! differences between adjacent elements are all distinct — i.e. form a
+//! permutation of `1..n−1`.  This is the twelve-tone "all-interval row" of
+//! serial music, one of the three CSPLib models in Figures 1 and 2 of the
+//! paper.
+//!
+//! The candidate is the series itself (`perm[i]` = i-th element).  The cost
+//! counts surplus occurrences of each difference value: `Σ_d max(0, occ(d)−1)`,
+//! which is zero exactly when all `n−1` differences are distinct.  Occurrence
+//! counters are maintained incrementally; a swap only touches the at most
+//! four differences adjacent to the two swapped positions.
+
+use cbls_core::{Evaluator, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+/// The All-Interval Series problem of size `n` (CSPLib prob007).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllInterval {
+    n: usize,
+    /// occ[d] = number of adjacent pairs with |difference| = d (index 0 unused).
+    occ: Vec<u32>,
+}
+
+impl AllInterval {
+    /// Create an instance of size `n` (`n ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a series needs at least one interval).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "all-interval series needs at least two elements");
+        Self {
+            n,
+            occ: vec![0; n],
+        }
+    }
+
+    /// Series length `n`.
+    #[must_use]
+    pub fn series_length(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn diff(perm: &[usize], pair: usize) -> usize {
+        perm[pair].abs_diff(perm[pair + 1])
+    }
+
+    fn recompute(&mut self, perm: &[usize]) {
+        self.occ.iter_mut().for_each(|o| *o = 0);
+        for pair in 0..self.n - 1 {
+            self.occ[Self::diff(perm, pair)] += 1;
+        }
+    }
+
+    fn cost_from_occ(&self) -> i64 {
+        self.occ
+            .iter()
+            .map(|&o| i64::from(o.saturating_sub(1)))
+            .sum()
+    }
+
+    /// The adjacent-pair indices whose difference involves position `i`.
+    fn pairs_of(&self, i: usize) -> impl Iterator<Item = usize> {
+        let lo = i.saturating_sub(1);
+        let hi = i.min(self.n - 2);
+        lo..=hi
+    }
+
+    /// Value at `pos` after hypothetically swapping positions `i` and `j`.
+    #[inline]
+    fn value_after_swap(perm: &[usize], i: usize, j: usize, pos: usize) -> usize {
+        if pos == i {
+            perm[j]
+        } else if pos == j {
+            perm[i]
+        } else {
+            perm[pos]
+        }
+    }
+}
+
+impl Evaluator for AllInterval {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "all-interval"
+    }
+
+    fn init(&mut self, perm: &[usize]) -> i64 {
+        self.recompute(perm);
+        self.cost_from_occ()
+    }
+
+    fn cost(&self, perm: &[usize]) -> i64 {
+        let mut probe = self.clone();
+        probe.recompute(perm);
+        probe.cost_from_occ()
+    }
+
+    fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+        // Number of adjacent differences at `i` that are duplicated elsewhere.
+        self.pairs_of(i)
+            .map(|pair| i64::from(self.occ[Self::diff(perm, pair)] > 1))
+            .sum()
+    }
+
+    fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+        if i == j || perm[i] == perm[j] {
+            return current_cost;
+        }
+        // Affected pairs: those adjacent to i or to j (deduplicated).
+        let mut pairs: Vec<usize> = self.pairs_of(i).chain(self.pairs_of(j)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        // Adjustments to occurrence counts, kept as (difference, delta).
+        let mut adjust: Vec<(usize, i64)> = Vec::with_capacity(8);
+        let bump = |adjust: &mut Vec<(usize, i64)>, d: usize, delta: i64| {
+            if let Some(entry) = adjust.iter_mut().find(|(dd, _)| *dd == d) {
+                entry.1 += delta;
+            } else {
+                adjust.push((d, delta));
+            }
+        };
+
+        let mut cost = current_cost;
+        // Remove the old differences of the affected pairs, then add the new
+        // ones, updating the surplus count as we go.
+        for &pair in &pairs {
+            let d = Self::diff(perm, pair);
+            let occ_now = i64::from(self.occ[d])
+                + adjust
+                    .iter()
+                    .find(|(dd, _)| *dd == d)
+                    .map_or(0, |(_, delta)| *delta);
+            // removing one occurrence reduces the surplus iff occ > 1
+            if occ_now > 1 {
+                cost -= 1;
+            }
+            bump(&mut adjust, d, -1);
+        }
+        for &pair in &pairs {
+            let a = Self::value_after_swap(perm, i, j, pair);
+            let b = Self::value_after_swap(perm, i, j, pair + 1);
+            let d = a.abs_diff(b);
+            let occ_now = i64::from(self.occ[d])
+                + adjust
+                    .iter()
+                    .find(|(dd, _)| *dd == d)
+                    .map_or(0, |(_, delta)| *delta);
+            // adding an occurrence increases the surplus iff one already exists
+            if occ_now >= 1 {
+                cost += 1;
+            }
+            bump(&mut adjust, d, 1);
+        }
+        cost
+    }
+
+    fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        // `perm` is already swapped; the *old* values are recovered by
+        // swapping back on the fly.
+        let mut pairs: Vec<usize> = self.pairs_of(i).chain(self.pairs_of(j)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &pair in &pairs {
+            // old difference: value_after_swap applied to the swapped perm
+            // reverses the swap.
+            let old_a = Self::value_after_swap(perm, i, j, pair);
+            let old_b = Self::value_after_swap(perm, i, j, pair + 1);
+            let old_d = old_a.abs_diff(old_b);
+            self.occ[old_d] -= 1;
+            let new_d = Self::diff(perm, pair);
+            self.occ[new_d] += 1;
+        }
+    }
+
+    fn tune(&self, config: &mut SearchConfig) {
+        // Parameters calibrated with the `tune_scratch` sweep: moderate
+        // sideways acceptance and an early reset after three local minima
+        // keep the search off the huge plateaus of this model.
+        config.freeze_duration = 1;
+        config.plateau_probability = 0.3;
+        config.reset_fraction = 0.1;
+        config.reset_limit = Some(3);
+        config.prob_select_local_min = 0.0;
+        config.max_iterations_per_restart = (self.n as u64).pow(3).max(50_000);
+    }
+
+    fn verify(&self, perm: &[usize]) -> bool {
+        if perm.len() != self.n {
+            return false;
+        }
+        let mut seen_value = vec![false; self.n];
+        for &v in perm {
+            if v >= self.n || seen_value[v] {
+                return false;
+            }
+            seen_value[v] = true;
+        }
+        let mut seen_diff = vec![false; self.n];
+        for pair in 0..self.n - 1 {
+            let d = Self::diff(perm, pair);
+            if d == 0 || d >= self.n || seen_diff[d] {
+                return false;
+            }
+            seen_diff[d] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use as_rng::default_rng;
+    use cbls_core::AdaptiveSearch;
+
+    /// The canonical zig-zag construction 0, n-1, 1, n-2, ... is an
+    /// all-interval series for every n.
+    fn zigzag(n: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        for k in 0..n {
+            if k % 2 == 0 {
+                out.push(lo);
+                lo += 1;
+            } else {
+                out.push(hi);
+                hi -= 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zigzag_is_a_solution() {
+        for n in [2usize, 3, 5, 8, 12, 20] {
+            let mut p = AllInterval::new(n);
+            let perm = zigzag(n);
+            assert_eq!(p.init(&perm), 0, "zigzag({n}) should have zero cost");
+            assert!(p.verify(&perm));
+        }
+    }
+
+    #[test]
+    fn constant_differences_are_maximally_bad() {
+        // The identity 0,1,2,...,n-1 has every difference equal to 1:
+        // n-1 occurrences of the same value → surplus n-2.
+        let mut p = AllInterval::new(10);
+        let perm: Vec<usize> = (0..10).collect();
+        assert_eq!(p.init(&perm), 8);
+        assert!(!p.verify(&perm));
+    }
+
+    #[test]
+    fn incremental_consistency() {
+        for n in [4usize, 7, 12, 20] {
+            check_incremental_consistency(AllInterval::new(n), 300 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn error_projection_consistency() {
+        for n in [4usize, 8, 15] {
+            check_error_projection(AllInterval::new(n), 400 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn verify_rejects_duplicate_differences() {
+        let p = AllInterval::new(4);
+        assert!(!p.verify(&[0, 1, 2, 3]));
+        assert!(!p.verify(&[0, 0, 1, 2]));
+        assert!(!p.verify(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn adaptive_search_solves_small_sizes() {
+        for n in [6usize, 8, 10, 12] {
+            let mut p = AllInterval::new(n);
+            let engine = AdaptiveSearch::tuned_for(&p);
+            let out = engine.solve(&mut p, &mut default_rng(50 + n as u64));
+            assert!(out.solved(), "n = {n} not solved: {out:?}");
+            assert!(p.verify(&out.solution));
+        }
+    }
+
+    #[test]
+    fn swap_of_equal_positions_is_identity() {
+        let mut p = AllInterval::new(8);
+        let perm = zigzag(8);
+        let c = p.init(&perm);
+        assert_eq!(p.cost_if_swap(&perm, c, 3, 3), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_small_series_is_rejected() {
+        let _ = AllInterval::new(1);
+    }
+}

@@ -1,0 +1,208 @@
+//! A registry of ready-made benchmark instances.
+//!
+//! The figure-regeneration binaries, the examples and the integration tests
+//! all need to refer to "the benchmarks of the paper" by name and size;
+//! [`Benchmark`] centralizes that mapping so that an experiment description
+//! (e.g. `magic-square 20`) resolves to the same instance everywhere.
+
+use cbls_core::{AdaptiveSearch, Evaluator, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AllInterval, AlphaCipher, CostasArray, Langford, MagicSquare, NQueens, NumberPartitioning,
+    PerfectSquare, SquarePackingInstance,
+};
+
+/// A named benchmark instance from the paper's evaluation (or from the wider
+/// Adaptive Search distribution).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Magic Square of the given order (CSPLib prob019).
+    MagicSquare(usize),
+    /// All-Interval Series of the given length (CSPLib prob007).
+    AllInterval(usize),
+    /// Perfect Square placement, CSPLib prob009 order-21 instance.
+    PerfectSquareCsplib,
+    /// Perfect square placement, the small order-9 squared rectangle.
+    PerfectSquareOrder9,
+    /// Costas Array Problem of the given order.
+    CostasArray(usize),
+    /// N-Queens of the given order.
+    NQueens(usize),
+    /// Langford pairs L(2, n).
+    Langford(usize),
+    /// Number partitioning over 1..=n.
+    NumberPartitioning(usize),
+    /// The standard alpha cryptarithm.
+    Alpha,
+}
+
+impl Benchmark {
+    /// The three CSPLib benchmarks of Figures 1 and 2, at the scaled-down
+    /// sizes used by the reproduction harness (see DESIGN.md §2).
+    #[must_use]
+    pub fn csplib_suite() -> Vec<Benchmark> {
+        vec![
+            Benchmark::AllInterval(16),
+            Benchmark::PerfectSquareOrder9,
+            Benchmark::MagicSquare(6),
+        ]
+    }
+
+    /// Stable, file-system-friendly identifier (used in CSV output).
+    #[must_use]
+    pub fn id(&self) -> String {
+        match self {
+            Benchmark::MagicSquare(n) => format!("magic-square-{n}"),
+            Benchmark::AllInterval(n) => format!("all-interval-{n}"),
+            Benchmark::PerfectSquareCsplib => "perfect-square-csplib21".to_string(),
+            Benchmark::PerfectSquareOrder9 => "perfect-square-order9".to_string(),
+            Benchmark::CostasArray(n) => format!("costas-{n}"),
+            Benchmark::NQueens(n) => format!("queens-{n}"),
+            Benchmark::Langford(n) => format!("langford-{n}"),
+            Benchmark::NumberPartitioning(n) => format!("partition-{n}"),
+            Benchmark::Alpha => "alpha".to_string(),
+        }
+    }
+
+    /// Human-readable label matching the names used in the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Benchmark::MagicSquare(n) => format!("magic-square {n}x{n}"),
+            Benchmark::AllInterval(n) => format!("all-interval {n}"),
+            Benchmark::PerfectSquareCsplib => "perfect-square (CSPLib 21)".to_string(),
+            Benchmark::PerfectSquareOrder9 => "perfect-square (order 9)".to_string(),
+            Benchmark::CostasArray(n) => format!("costas array {n}"),
+            Benchmark::NQueens(n) => format!("{n}-queens"),
+            Benchmark::Langford(n) => format!("langford L(2,{n})"),
+            Benchmark::NumberPartitioning(n) => format!("partition {n}"),
+            Benchmark::Alpha => "alpha cipher".to_string(),
+        }
+    }
+
+    /// Number of decision variables of the instance.
+    #[must_use]
+    pub fn variables(&self) -> usize {
+        match self {
+            Benchmark::MagicSquare(n) => n * n,
+            Benchmark::AllInterval(n) | Benchmark::CostasArray(n) | Benchmark::NQueens(n) => *n,
+            Benchmark::PerfectSquareCsplib => 21,
+            Benchmark::PerfectSquareOrder9 => 9,
+            Benchmark::Langford(n) => 2 * n,
+            Benchmark::NumberPartitioning(n) => *n,
+            Benchmark::Alpha => crate::alpha::ALPHABET,
+        }
+    }
+
+    /// Build a fresh evaluator for this benchmark.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Evaluator> {
+        match self {
+            Benchmark::MagicSquare(n) => Box::new(MagicSquare::new(*n)),
+            Benchmark::AllInterval(n) => Box::new(AllInterval::new(*n)),
+            Benchmark::PerfectSquareCsplib => {
+                Box::new(PerfectSquare::new(SquarePackingInstance::csplib_order21()))
+            }
+            Benchmark::PerfectSquareOrder9 => Box::new(PerfectSquare::order9()),
+            Benchmark::CostasArray(n) => Box::new(CostasArray::new(*n)),
+            Benchmark::NQueens(n) => Box::new(NQueens::new(*n)),
+            Benchmark::Langford(n) => Box::new(Langford::new(*n)),
+            Benchmark::NumberPartitioning(n) => Box::new(NumberPartitioning::new(*n)),
+            Benchmark::Alpha => Box::new(AlphaCipher::standard()),
+        }
+    }
+
+    /// The problem-tuned search configuration for this benchmark.
+    #[must_use]
+    pub fn tuned_config(&self) -> SearchConfig {
+        let evaluator = self.build();
+        let mut config = SearchConfig::default();
+        evaluator.tune(&mut config);
+        config
+    }
+
+    /// A ready-to-run engine with the benchmark's tuned configuration.
+    #[must_use]
+    pub fn engine(&self) -> AdaptiveSearch {
+        AdaptiveSearch::new(self.tuned_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_rng::default_rng;
+
+    fn all_small_benchmarks() -> Vec<Benchmark> {
+        vec![
+            Benchmark::MagicSquare(4),
+            Benchmark::AllInterval(10),
+            Benchmark::PerfectSquareOrder9,
+            Benchmark::CostasArray(8),
+            Benchmark::NQueens(10),
+            Benchmark::Langford(4),
+            Benchmark::NumberPartitioning(8),
+            Benchmark::Alpha,
+        ]
+    }
+
+    #[test]
+    fn ids_and_labels_are_unique() {
+        let benches = all_small_benchmarks();
+        let ids: std::collections::HashSet<_> = benches.iter().map(Benchmark::id).collect();
+        let labels: std::collections::HashSet<_> = benches.iter().map(Benchmark::label).collect();
+        assert_eq!(ids.len(), benches.len());
+        assert_eq!(labels.len(), benches.len());
+    }
+
+    #[test]
+    fn variables_match_built_evaluators() {
+        for b in all_small_benchmarks() {
+            let e = b.build();
+            assert_eq!(e.size(), b.variables(), "benchmark {}", b.id());
+        }
+    }
+
+    #[test]
+    fn csplib_suite_matches_the_papers_benchmarks() {
+        let suite = Benchmark::csplib_suite();
+        assert_eq!(suite.len(), 3);
+        let labels: Vec<String> = suite.iter().map(Benchmark::label).collect();
+        assert!(labels.iter().any(|l| l.contains("all-interval")));
+        assert!(labels.iter().any(|l| l.contains("perfect-square")));
+        assert!(labels.iter().any(|l| l.contains("magic-square")));
+    }
+
+    #[test]
+    fn boxed_evaluators_solve_through_the_engine() {
+        // The registry must produce evaluators usable as trait objects.
+        for b in [
+            Benchmark::NQueens(10),
+            Benchmark::CostasArray(7),
+            Benchmark::Langford(4),
+        ] {
+            let mut evaluator = b.build();
+            let engine = b.engine();
+            let out = engine.solve(&mut evaluator, &mut default_rng(42));
+            assert!(out.solved(), "{} not solved", b.id());
+            assert!(evaluator.verify(&out.solution));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for b in all_small_benchmarks() {
+            let json = serde_json::to_string(&b).unwrap();
+            let back: Benchmark = serde_json::from_str(&json).unwrap();
+            assert_eq!(b, back);
+        }
+    }
+
+    #[test]
+    fn tuned_config_is_valid() {
+        for b in all_small_benchmarks() {
+            assert!(b.tuned_config().validate().is_ok(), "{}", b.id());
+        }
+    }
+}

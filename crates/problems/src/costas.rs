@@ -1,0 +1,363 @@
+//! The Costas Array Problem (CAP).
+//!
+//! A Costas array of order `n` is an `n×n` permutation matrix (one mark per
+//! row and per column) such that the `n(n−1)/2` displacement vectors between
+//! pairs of marks are all distinct.  Costas arrays were introduced for
+//! sonar/radar frequency hopping; the paper uses the CAP as its hard,
+//! real-life-derived benchmark and reports *linear* parallel speedups on it
+//! (Figure 3, and the headline "n = 22 in about one minute on 256 cores").
+//!
+//! With the permutation encoding (`perm[i]` = row of the mark in column `i`),
+//! the Costas condition is equivalent to: for every column distance
+//! `d ∈ 1..n−1`, the differences `perm[i+d] − perm[i]` are pairwise distinct.
+//! The cost counts surplus differences per distance, maintained in per-`d`
+//! occurrence tables so that swap evaluation costs `O(n)` instead of the
+//! `O(n²)` full recount.
+
+use cbls_core::{Evaluator, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+/// The Costas Array Problem of order `n`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostasArray {
+    n: usize,
+    /// `occ[d][v]` = number of column pairs at distance `d+1` whose row
+    /// difference (shifted by `n−1` to be non-negative) equals `v`.
+    occ: Vec<Vec<u32>>,
+}
+
+impl CostasArray {
+    /// Create an instance of order `n` (`n ≥ 1`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "Costas array order must be at least 1");
+        let width = 2 * n;
+        let rows = n.saturating_sub(1);
+        Self {
+            n,
+            occ: vec![vec![0; width]; rows],
+        }
+    }
+
+    /// Order `n` of the array.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn shifted_diff(&self, perm: &[usize], lo: usize, hi: usize) -> usize {
+        // perm[hi] - perm[lo], shifted into 0..2n-1
+        perm[hi] + self.n - 1 - perm[lo]
+    }
+
+    fn recompute(&mut self, perm: &[usize]) {
+        for row in &mut self.occ {
+            row.iter_mut().for_each(|o| *o = 0);
+        }
+        for d in 1..self.n {
+            for i in 0..self.n - d {
+                let v = self.shifted_diff(perm, i, i + d);
+                self.occ[d - 1][v] += 1;
+            }
+        }
+    }
+
+    fn cost_from_occ(&self) -> i64 {
+        self.occ
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|&o| i64::from(o.saturating_sub(1)))
+            .sum()
+    }
+
+    /// Pairs `(lo, hi)` at distance `d` that involve position `p`.
+    fn pairs_involving(&self, p: usize, d: usize) -> impl Iterator<Item = (usize, usize)> {
+        let n = self.n;
+        let left = p.checked_sub(d).map(|lo| (lo, p));
+        let right = (p + d < n).then_some((p, p + d));
+        left.into_iter().chain(right)
+    }
+
+    /// Value at `pos` after hypothetically swapping positions `i` and `j`.
+    #[inline]
+    fn value_after_swap(perm: &[usize], i: usize, j: usize, pos: usize) -> usize {
+        if pos == i {
+            perm[j]
+        } else if pos == j {
+            perm[i]
+        } else {
+            perm[pos]
+        }
+    }
+
+    /// Render the permutation as an ASCII grid with one mark per column, the
+    /// way the paper draws its size-5 example.
+    #[must_use]
+    pub fn render(&self, perm: &[usize]) -> String {
+        let mut out = String::new();
+        for r in (0..self.n).rev() {
+            for c in 0..self.n {
+                out.push(if perm[c] == r { 'X' } else { '.' });
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Evaluator for CostasArray {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "costas-array"
+    }
+
+    fn init(&mut self, perm: &[usize]) -> i64 {
+        self.recompute(perm);
+        self.cost_from_occ()
+    }
+
+    fn cost(&self, perm: &[usize]) -> i64 {
+        let mut probe = self.clone();
+        probe.recompute(perm);
+        probe.cost_from_occ()
+    }
+
+    fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+        // Number of difference-vector conflicts the mark in column `i`
+        // participates in.
+        let mut err = 0;
+        for d in 1..self.n {
+            for (lo, hi) in self.pairs_involving(i, d) {
+                let v = self.shifted_diff(perm, lo, hi);
+                if self.occ[d - 1][v] > 1 {
+                    err += 1;
+                }
+            }
+        }
+        err
+    }
+
+    fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+        if i == j {
+            return current_cost;
+        }
+        let mut cost = current_cost;
+        // Per-distance adjustment lists are tiny (at most 8 entries), so a
+        // linear scan beats any hash map here.
+        let mut adjust: Vec<(usize, usize, i64)> = Vec::with_capacity(8);
+        let effective = |occ: &[Vec<u32>], adjust: &[(usize, usize, i64)], d: usize, v: usize| {
+            i64::from(occ[d - 1][v])
+                + adjust
+                    .iter()
+                    .filter(|&&(dd, vv, _)| dd == d && vv == v)
+                    .map(|&(_, _, delta)| delta)
+                    .sum::<i64>()
+        };
+
+        for d in 1..self.n {
+            // Differences at different distances live in disjoint tables, so
+            // the adjustment list can be cleared per distance.
+            adjust.clear();
+            // Affected pairs at this distance: those touching i or j, dedup'd.
+            let mut pairs: Vec<(usize, usize)> = self
+                .pairs_involving(i, d)
+                .chain(self.pairs_involving(j, d))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+
+            // Remove old differences.
+            for &(lo, hi) in &pairs {
+                let v = self.shifted_diff(perm, lo, hi);
+                let occ_now = effective(&self.occ, &adjust, d, v);
+                if occ_now > 1 {
+                    cost -= 1;
+                }
+                adjust.push((d, v, -1));
+            }
+            // Add new differences.
+            for &(lo, hi) in &pairs {
+                let a = Self::value_after_swap(perm, i, j, lo);
+                let b = Self::value_after_swap(perm, i, j, hi);
+                let v = b + self.n - 1 - a;
+                let occ_now = effective(&self.occ, &adjust, d, v);
+                if occ_now >= 1 {
+                    cost += 1;
+                }
+                adjust.push((d, v, 1));
+            }
+        }
+        cost
+    }
+
+    fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        // `perm` is the permutation after the swap; un-swapping on the fly
+        // recovers the old values for the removal pass.
+        for d in 1..self.n {
+            let mut pairs: Vec<(usize, usize)> = self
+                .pairs_involving(i, d)
+                .chain(self.pairs_involving(j, d))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            for &(lo, hi) in &pairs {
+                let old_a = Self::value_after_swap(perm, i, j, lo);
+                let old_b = Self::value_after_swap(perm, i, j, hi);
+                let old_v = old_b + self.n - 1 - old_a;
+                self.occ[d - 1][old_v] -= 1;
+                let new_v = self.shifted_diff(perm, lo, hi);
+                self.occ[d - 1][new_v] += 1;
+            }
+        }
+    }
+
+    fn tune(&self, config: &mut SearchConfig) {
+        // CAP responds best to an aggressive escape strategy: tiny freeze,
+        // immediate small resets, and a pinch of forced moves — in line with
+        // the dedicated Costas study the paper cites (Diaz et al.).
+        config.freeze_duration = 1;
+        config.plateau_probability = 1.0;
+        config.reset_fraction = 0.05;
+        config.reset_limit = Some(2);
+        config.prob_select_local_min = 0.0;
+        config.max_iterations_per_restart = (self.n as u64).pow(3).max(10_000);
+        config.max_restarts = 10_000;
+    }
+
+    fn verify(&self, perm: &[usize]) -> bool {
+        let n = self.n;
+        if perm.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &v in perm {
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        for d in 1..n {
+            let mut seen_diff = vec![false; 2 * n];
+            for i in 0..n - d {
+                let v = perm[i + d] + n - 1 - perm[i];
+                if seen_diff[v] {
+                    return false;
+                }
+                seen_diff[v] = true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use as_rng::default_rng;
+    use cbls_core::AdaptiveSearch;
+
+    /// The order-5 Costas array used as the example in the paper:
+    /// `[3, 4, 2, 1, 5]` in 1-based notation.
+    fn paper_example() -> Vec<usize> {
+        vec![2, 3, 1, 0, 4]
+    }
+
+    #[test]
+    fn paper_example_is_a_costas_array() {
+        let mut p = CostasArray::new(5);
+        let perm = paper_example();
+        assert_eq!(p.init(&perm), 0);
+        assert!(p.verify(&perm));
+        for i in 0..5 {
+            assert_eq!(p.cost_on_variable(&perm, i), 0);
+        }
+    }
+
+    #[test]
+    fn welch_construction_gives_solutions() {
+        // Welch construction: for a prime p and a primitive root g, the
+        // sequence perm[i] = g^(i+1) mod p − 1 for i in 0..p-1 is a Costas
+        // array of order p−1.  With p = 11, g = 2: 2,4,8,5,10,9,7,3,6,1.
+        let seq: Vec<usize> = [2u64, 4, 8, 5, 10, 9, 7, 3, 6, 1]
+            .iter()
+            .map(|&v| (v - 1) as usize)
+            .collect();
+        let mut p = CostasArray::new(10);
+        assert_eq!(p.init(&seq), 0);
+        assert!(p.verify(&seq));
+    }
+
+    #[test]
+    fn non_costas_permutation_has_positive_cost() {
+        // The identity has every distance-d difference equal: maximally bad.
+        let mut p = CostasArray::new(6);
+        let perm: Vec<usize> = (0..6).collect();
+        let cost = p.init(&perm);
+        assert!(cost > 0);
+        assert!(!p.verify(&perm));
+        // For the identity, at distance d there are n-d pairs all with the
+        // same difference, so the surplus is (n-d-1); total = Σ_{d=1}^{n-1}(n-d-1).
+        let expected: i64 = (1..6).map(|d| (6 - d - 1) as i64).sum();
+        assert_eq!(cost, expected);
+    }
+
+    #[test]
+    fn incremental_consistency() {
+        for n in [3usize, 5, 8, 12] {
+            check_incremental_consistency(CostasArray::new(n), 500 + n as u64, 20);
+        }
+    }
+
+    #[test]
+    fn error_projection_consistency() {
+        for n in [4usize, 7, 10] {
+            check_error_projection(CostasArray::new(n), 600 + n as u64, 20);
+        }
+    }
+
+    #[test]
+    fn adaptive_search_solves_small_orders() {
+        for n in [5usize, 7, 9, 10] {
+            let mut p = CostasArray::new(n);
+            let engine = AdaptiveSearch::tuned_for(&p);
+            let out = engine.solve(&mut p, &mut default_rng(70 + n as u64));
+            assert!(out.solved(), "order {n} not solved: {out:?}");
+            assert!(p.verify(&out.solution));
+        }
+    }
+
+    #[test]
+    fn render_draws_one_mark_per_column() {
+        let p = CostasArray::new(5);
+        let s = p.render(&paper_example());
+        assert_eq!(s.matches('X').count(), 5);
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn trivial_orders() {
+        let mut p1 = CostasArray::new(1);
+        assert_eq!(p1.init(&[0]), 0);
+        assert!(p1.verify(&[0]));
+        let mut p2 = CostasArray::new(2);
+        assert_eq!(p2.init(&[0, 1]), 0);
+        assert!(p2.verify(&[0, 1]));
+    }
+
+    #[test]
+    fn verify_rejects_bad_inputs() {
+        let p = CostasArray::new(4);
+        assert!(!p.verify(&[0, 1, 2]));
+        assert!(!p.verify(&[0, 0, 1, 2]));
+        assert!(!p.verify(&[0, 1, 2, 3])); // identity has repeated differences
+    }
+}

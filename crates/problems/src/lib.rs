@@ -1,0 +1,124 @@
+//! # cbls-problems — benchmark models for Adaptive Search
+//!
+//! The CSP models used by the PPoPP 2012 evaluation, implemented against the
+//! [`cbls_core::Evaluator`] interface with incremental cost maintenance:
+//!
+//! * [`MagicSquare`] — CSPLib prob019 (Figures 1 and 2),
+//! * [`AllInterval`] — CSPLib prob007 (Figures 1 and 2),
+//! * [`PerfectSquare`] — CSPLib prob009 (Figures 1 and 2), encoded as a
+//!   placement-order permutation with a bottom-left-fill decoder,
+//! * [`CostasArray`] — the Costas Array Problem (Figure 3 and the headline
+//!   "linear speedup" result),
+//!
+//! plus the other classical models shipped with the original Adaptive Search
+//! C distribution, used for wider testing and the extension studies:
+//!
+//! * [`NQueens`] — permutation N-queens,
+//! * [`Langford`] — Langford pairs L(2, n),
+//! * [`NumberPartitioning`] — equal-cardinality partition with equal sums and
+//!   sums of squares,
+//! * [`AlphaCipher`] — the "alpha" cryptarithm (26 letters, 20 word sums).
+//!
+//! [`Benchmark`] is a small registry enumerating ready-made instances so the
+//! harness, the examples and the figures can refer to problems by name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod all_interval;
+mod alpha;
+mod catalog;
+mod costas;
+mod langford;
+mod magic_square;
+mod partition;
+mod perfect_square;
+mod queens;
+
+pub use all_interval::AllInterval;
+pub use alpha::AlphaCipher;
+pub use catalog::Benchmark;
+pub use costas::CostasArray;
+pub use langford::Langford;
+pub use magic_square::MagicSquare;
+pub use partition::NumberPartitioning;
+pub use perfect_square::{PerfectSquare, SquarePackingInstance};
+pub use queens::NQueens;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use as_rng::{default_rng, RandomSource};
+    use cbls_core::Evaluator;
+
+    /// Exhaustively check, over `samples` random permutations, that
+    /// `cost_if_swap` agrees with a from-scratch recomputation and that
+    /// `executed_swap` keeps the incremental state consistent with `init`.
+    pub fn check_incremental_consistency<E: Evaluator>(mut problem: E, seed: u64, samples: usize) {
+        let n = problem.size();
+        let mut rng = default_rng(seed);
+        for _ in 0..samples {
+            let mut perm = rng.permutation(n);
+            let cost = problem.init(&perm);
+            assert_eq!(cost, problem.cost(&perm), "init disagrees with cost");
+            assert!(cost >= 0, "costs must be non-negative");
+
+            // probe a handful of swaps
+            for _ in 0..8usize.min(n * (n - 1) / 2) {
+                let i = rng.index(n);
+                let j = rng.index(n);
+                if i == j {
+                    continue;
+                }
+                let predicted = problem.cost_if_swap(&perm, cost, i, j);
+                let mut probe = perm.clone();
+                probe.swap(i, j);
+                let actual = problem.cost(&probe);
+                assert_eq!(
+                    predicted, actual,
+                    "cost_if_swap({i},{j}) disagrees with recompute"
+                );
+            }
+
+            // execute one swap and verify incremental state stays in sync
+            let i = rng.index(n);
+            let j = rng.index(n);
+            if i != j {
+                let predicted = problem.cost_if_swap(&perm, cost, i, j);
+                perm.swap(i, j);
+                problem.executed_swap(&perm, i, j);
+                assert_eq!(
+                    predicted,
+                    problem.cost(&perm),
+                    "executed_swap left stale incremental state"
+                );
+                // A second init must agree as well.
+                assert_eq!(problem.init(&perm), predicted);
+            }
+        }
+    }
+
+    /// Check that the per-variable error projection is consistent with the
+    /// global cost: zero cost implies zero errors, and a positive cost
+    /// implies at least one positive error.
+    pub fn check_error_projection<E: Evaluator>(mut problem: E, seed: u64, samples: usize) {
+        let n = problem.size();
+        let mut rng = default_rng(seed);
+        for _ in 0..samples {
+            let perm = rng.permutation(n);
+            let cost = problem.init(&perm);
+            let errors: Vec<i64> = (0..n).map(|i| problem.cost_on_variable(&perm, i)).collect();
+            assert!(errors.iter().all(|&e| e >= 0), "negative variable error");
+            if cost == 0 {
+                assert!(
+                    errors.iter().all(|&e| e == 0),
+                    "zero-cost configuration with positive variable error"
+                );
+            } else {
+                assert!(
+                    errors.iter().any(|&e| e > 0),
+                    "positive cost but no variable carries any error (cost = {cost})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Number partitioning ("partit" in the Adaptive Search distribution).
+//!
+//! Partition the numbers `1..=n` into two groups of equal cardinality such
+//! that both groups have the same sum *and* the same sum of squares.
+//! Solutions exist for `n ≡ 0 (mod 8)`.  The candidate is a permutation of
+//! `0..n`: the values in the first `n/2` positions form group A, the rest
+//! group B; a swap moves one number from each group to the other.
+//!
+//! The cost is `|ΣA − ΣB| / gcd-ish scaling + |ΣA² − ΣB²|` — following the C
+//! model, both deviations are simply added (they are both zero exactly on
+//! solutions).
+
+use cbls_core::{Evaluator, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+/// The equal-sums / equal-sums-of-squares number partitioning problem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NumberPartitioning {
+    n: usize,
+    sum_a: i64,
+    sum_sq_a: i64,
+    target_sum: i64,
+    target_sq: i64,
+}
+
+impl NumberPartitioning {
+    /// Create an instance over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4 (the target sums are
+    /// otherwise non-integral; solutions additionally require `n ≡ 0 mod 8`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n % 4 == 0, "number partitioning needs n ≡ 0 (mod 4)");
+        let n_i = n as i64;
+        let total_sum = n_i * (n_i + 1) / 2;
+        let total_sq = n_i * (n_i + 1) * (2 * n_i + 1) / 6;
+        Self {
+            n,
+            sum_a: 0,
+            sum_sq_a: 0,
+            target_sum: total_sum / 2,
+            target_sq: total_sq / 2,
+        }
+    }
+
+    /// Instance size `n`.
+    #[must_use]
+    pub fn values(&self) -> usize {
+        self.n
+    }
+
+    /// Whether a perfect partition is known to exist (`n ≡ 0 (mod 8)`).
+    #[must_use]
+    pub fn is_satisfiable(&self) -> bool {
+        self.n % 8 == 0
+    }
+
+    #[inline]
+    fn value(perm: &[usize], i: usize) -> i64 {
+        perm[i] as i64 + 1
+    }
+
+    #[inline]
+    fn half(&self) -> usize {
+        self.n / 2
+    }
+
+    fn recompute(&mut self, perm: &[usize]) {
+        self.sum_a = 0;
+        self.sum_sq_a = 0;
+        for i in 0..self.half() {
+            let v = Self::value(perm, i);
+            self.sum_a += v;
+            self.sum_sq_a += v * v;
+        }
+    }
+
+    fn cost_from_sums(&self, sum_a: i64, sum_sq_a: i64) -> i64 {
+        (sum_a - self.target_sum).abs() + (sum_sq_a - self.target_sq).abs()
+    }
+}
+
+impl Evaluator for NumberPartitioning {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "number-partitioning"
+    }
+
+    fn init(&mut self, perm: &[usize]) -> i64 {
+        self.recompute(perm);
+        self.cost_from_sums(self.sum_a, self.sum_sq_a)
+    }
+
+    fn cost(&self, perm: &[usize]) -> i64 {
+        let mut probe = self.clone();
+        probe.recompute(perm);
+        probe.cost_from_sums(probe.sum_a, probe.sum_sq_a)
+    }
+
+    fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+        // Every variable shares the same group-level error; weight it by the
+        // value's own magnitude so larger numbers are repaired first (as the
+        // C model does).
+        let group_err = self.cost_from_sums(self.sum_a, self.sum_sq_a);
+        if group_err == 0 {
+            0
+        } else {
+            Self::value(perm, i)
+        }
+    }
+
+    fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+        let half = self.half();
+        let same_group = (i < half) == (j < half);
+        if same_group || i == j {
+            return current_cost;
+        }
+        let (a_pos, b_pos) = if i < half { (i, j) } else { (j, i) };
+        let va = Self::value(perm, a_pos);
+        let vb = Self::value(perm, b_pos);
+        let sum_a = self.sum_a - va + vb;
+        let sum_sq_a = self.sum_sq_a - va * va + vb * vb;
+        self.cost_from_sums(sum_a, sum_sq_a)
+    }
+
+    fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
+        let half = self.half();
+        let same_group = (i < half) == (j < half);
+        if same_group || i == j {
+            return;
+        }
+        // `perm` is after the swap: position a_pos (group A) now holds the
+        // value that used to be in group B.
+        let a_pos = if i < half { i } else { j };
+        let b_pos = if i < half { j } else { i };
+        let now_a = Self::value(perm, a_pos);
+        let was_a = Self::value(perm, b_pos);
+        self.sum_a += now_a - was_a;
+        self.sum_sq_a += now_a * now_a - was_a * was_a;
+    }
+
+    fn tune(&self, config: &mut SearchConfig) {
+        config.freeze_duration = 1;
+        config.plateau_probability = 1.0;
+        config.reset_fraction = 0.25;
+        config.reset_limit = Some(2);
+        config.prob_select_local_min = 0.03;
+        config.max_iterations_per_restart = (self.n as u64).pow(2).max(50_000);
+        config.max_restarts = 1_000;
+    }
+
+    fn verify(&self, perm: &[usize]) -> bool {
+        if perm.len() != self.n {
+            return false;
+        }
+        let mut seen = vec![false; self.n];
+        for &v in perm {
+            if v >= self.n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        let half = self.half();
+        let sum_a: i64 = (0..half).map(|i| Self::value(perm, i)).sum();
+        let sq_a: i64 = (0..half).map(|i| Self::value(perm, i).pow(2)).sum();
+        let sum_b: i64 = (half..self.n).map(|i| Self::value(perm, i)).sum();
+        let sq_b: i64 = (half..self.n).map(|i| Self::value(perm, i).pow(2)).sum();
+        sum_a == sum_b && sq_a == sq_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use as_rng::default_rng;
+    use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn known_partition_for_n8() {
+        // {1,4,6,7} and {2,3,5,8}: sums 18/18, squares 102/102.
+        let mut p = NumberPartitioning::new(8);
+        let perm = vec![0, 3, 5, 6, 1, 2, 4, 7];
+        assert_eq!(p.init(&perm), 0);
+        assert!(p.verify(&perm));
+    }
+
+    #[test]
+    fn unbalanced_partition_has_positive_cost() {
+        let mut p = NumberPartitioning::new(8);
+        let perm: Vec<usize> = (0..8).collect(); // {1..4} vs {5..8}
+        assert!(p.init(&perm) > 0);
+        assert!(!p.verify(&perm));
+    }
+
+    #[test]
+    fn incremental_consistency() {
+        for n in [8usize, 12, 16, 24] {
+            check_incremental_consistency(NumberPartitioning::new(n), 1200 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn error_projection_consistency() {
+        for n in [8usize, 16] {
+            check_error_projection(NumberPartitioning::new(n), 1300 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn adaptive_search_solves_satisfiable_sizes() {
+        for n in [8usize, 16, 24, 32] {
+            let mut p = NumberPartitioning::new(n);
+            assert!(p.is_satisfiable());
+            let engine = AdaptiveSearch::tuned_for(&p);
+            let out = engine.solve(&mut p, &mut default_rng(140 + n as u64));
+            assert!(out.solved(), "n = {n} not solved: {out:?}");
+            assert!(p.verify(&out.solution));
+        }
+    }
+
+    #[test]
+    fn satisfiability_rule() {
+        assert!(NumberPartitioning::new(8).is_satisfiable());
+        assert!(!NumberPartitioning::new(12).is_satisfiable());
+        assert!(NumberPartitioning::new(16).is_satisfiable());
+    }
+
+    #[test]
+    #[should_panic(expected = "mod 4")]
+    fn odd_sizes_are_rejected() {
+        let _ = NumberPartitioning::new(10);
+    }
+
+    #[test]
+    fn same_group_swaps_change_nothing() {
+        let mut p = NumberPartitioning::new(8);
+        let perm: Vec<usize> = (0..8).collect();
+        let c = p.init(&perm);
+        assert_eq!(p.cost_if_swap(&perm, c, 0, 3), c);
+        assert_eq!(p.cost_if_swap(&perm, c, 4, 7), c);
+    }
+}

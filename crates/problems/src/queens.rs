@@ -1,0 +1,287 @@
+//! Permutation N-Queens.
+//!
+//! Place `n` queens on an `n×n` board, one per column, so that no two share a
+//! row or a diagonal.  With the permutation encoding (`perm[c]` = row of the
+//! queen in column `c`) rows and columns are satisfied by construction and
+//! only the two diagonal families can conflict.  N-Queens is part of the
+//! original Adaptive Search distribution and serves here as an easy,
+//! well-understood model for tests, examples and the baseline comparison.
+
+use cbls_core::{Evaluator, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+/// The N-Queens problem of order `n` in permutation encoding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NQueens {
+    n: usize,
+    /// Queens per ascending diagonal (`c + perm[c]`), `2n − 1` of them.
+    diag_up: Vec<u32>,
+    /// Queens per descending diagonal (`c − perm[c] + n − 1`).
+    diag_down: Vec<u32>,
+}
+
+impl NQueens {
+    /// Create an instance with `n` queens (`n ≥ 1`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "there must be at least one queen");
+        Self {
+            n,
+            diag_up: vec![0; 2 * n - 1],
+            diag_down: vec![0; 2 * n - 1],
+        }
+    }
+
+    /// Board order `n`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn up(&self, col: usize, row: usize) -> usize {
+        col + row
+    }
+
+    #[inline]
+    fn down(&self, col: usize, row: usize) -> usize {
+        col + self.n - 1 - row
+    }
+
+    fn recompute(&mut self, perm: &[usize]) {
+        self.diag_up.iter_mut().for_each(|d| *d = 0);
+        self.diag_down.iter_mut().for_each(|d| *d = 0);
+        for (col, &row) in perm.iter().enumerate() {
+            let (u, d) = (self.up(col, row), self.down(col, row));
+            self.diag_up[u] += 1;
+            self.diag_down[d] += 1;
+        }
+    }
+
+    fn cost_from_diags(&self) -> i64 {
+        // Number of attacking pairs: C(k, 2) per diagonal.
+        let pairs = |counts: &[u32]| -> i64 {
+            counts
+                .iter()
+                .map(|&k| i64::from(k) * (i64::from(k) - 1) / 2)
+                .sum()
+        };
+        pairs(&self.diag_up) + pairs(&self.diag_down)
+    }
+}
+
+impl Evaluator for NQueens {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "n-queens"
+    }
+
+    fn init(&mut self, perm: &[usize]) -> i64 {
+        self.recompute(perm);
+        self.cost_from_diags()
+    }
+
+    fn cost(&self, perm: &[usize]) -> i64 {
+        let mut probe = self.clone();
+        probe.recompute(perm);
+        probe.cost_from_diags()
+    }
+
+    fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+        let row = perm[i];
+        let up = self.diag_up[self.up(i, row)];
+        let down = self.diag_down[self.down(i, row)];
+        // Conflicts this queen participates in.
+        i64::from(up.saturating_sub(1)) + i64::from(down.saturating_sub(1))
+    }
+
+    fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+        if i == j || perm[i] == perm[j] {
+            return current_cost;
+        }
+        let pair = |k: u32| i64::from(k) * (i64::from(k) - 1) / 2;
+        // Remove queens (i, perm[i]) and (j, perm[j]), add (i, perm[j]) and
+        // (j, perm[i]); track the four affected diagonals per family with a
+        // tiny adjustment list.
+        let mut cost = current_cost;
+        let mut adjust_up: Vec<(usize, i64)> = Vec::with_capacity(4);
+        let mut adjust_down: Vec<(usize, i64)> = Vec::with_capacity(4);
+
+        let apply = |cost: &mut i64,
+                         counts: &[u32],
+                         adjust: &mut Vec<(usize, i64)>,
+                         idx: usize,
+                         delta: i64| {
+            let current = i64::from(counts[idx])
+                + adjust
+                    .iter()
+                    .filter(|&&(d, _)| d == idx)
+                    .map(|&(_, v)| v)
+                    .sum::<i64>();
+            *cost -= pair(u32::try_from(current).expect("diagonal count overflow"));
+            *cost += pair(u32::try_from(current + delta).expect("diagonal count overflow"));
+            adjust.push((idx, delta));
+        };
+
+        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(i, perm[i]), -1);
+        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(j, perm[j]), -1);
+        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(i, perm[j]), 1);
+        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(j, perm[i]), 1);
+
+        apply(
+            &mut cost,
+            &self.diag_down,
+            &mut adjust_down,
+            self.down(i, perm[i]),
+            -1,
+        );
+        apply(
+            &mut cost,
+            &self.diag_down,
+            &mut adjust_down,
+            self.down(j, perm[j]),
+            -1,
+        );
+        apply(
+            &mut cost,
+            &self.diag_down,
+            &mut adjust_down,
+            self.down(i, perm[j]),
+            1,
+        );
+        apply(
+            &mut cost,
+            &self.diag_down,
+            &mut adjust_down,
+            self.down(j, perm[i]),
+            1,
+        );
+
+        cost
+    }
+
+    fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        // `perm` is after the swap: the old row of column i is perm[j].
+        let (new_i, new_j) = (perm[i], perm[j]);
+        let (old_i, old_j) = (new_j, new_i);
+        let up_old_i = self.up(i, old_i);
+        let up_old_j = self.up(j, old_j);
+        let up_new_i = self.up(i, new_i);
+        let up_new_j = self.up(j, new_j);
+        let down_old_i = self.down(i, old_i);
+        let down_old_j = self.down(j, old_j);
+        let down_new_i = self.down(i, new_i);
+        let down_new_j = self.down(j, new_j);
+        self.diag_up[up_old_i] -= 1;
+        self.diag_up[up_old_j] -= 1;
+        self.diag_up[up_new_i] += 1;
+        self.diag_up[up_new_j] += 1;
+        self.diag_down[down_old_i] -= 1;
+        self.diag_down[down_old_j] -= 1;
+        self.diag_down[down_new_i] += 1;
+        self.diag_down[down_new_j] += 1;
+    }
+
+    fn tune(&self, config: &mut SearchConfig) {
+        config.freeze_duration = 2;
+        config.plateau_probability = 0.5;
+        config.reset_fraction = 0.1;
+        config.reset_limit = Some((self.n / 10).max(2));
+        config.max_iterations_per_restart = (self.n as u64 * 1_000).max(50_000);
+    }
+
+    fn verify(&self, perm: &[usize]) -> bool {
+        let n = self.n;
+        if perm.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &v in perm {
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                if a + perm[b] == b + perm[a] || a + perm[a] == b + perm[b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use as_rng::default_rng;
+    use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn known_solution_for_six_queens() {
+        // A classic solution to 6-queens: rows 1,3,5,0,2,4 per column.
+        let mut p = NQueens::new(6);
+        let perm = vec![1, 3, 5, 0, 2, 4];
+        assert_eq!(p.init(&perm), 0);
+        assert!(p.verify(&perm));
+    }
+
+    #[test]
+    fn identity_is_maximally_conflicting() {
+        // All queens on the main diagonal: C(n,2) attacking pairs.
+        let mut p = NQueens::new(8);
+        let perm: Vec<usize> = (0..8).collect();
+        assert_eq!(p.init(&perm), 28);
+        assert!(!p.verify(&perm));
+    }
+
+    #[test]
+    fn incremental_consistency() {
+        for n in [4usize, 6, 9, 16] {
+            check_incremental_consistency(NQueens::new(n), 700 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn error_projection_consistency() {
+        for n in [4usize, 8, 12] {
+            check_error_projection(NQueens::new(n), 800 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn adaptive_search_solves_a_range_of_sizes() {
+        for n in [8usize, 12, 20, 32] {
+            let mut p = NQueens::new(n);
+            let engine = AdaptiveSearch::tuned_for(&p);
+            let out = engine.solve(&mut p, &mut default_rng(90 + n as u64));
+            assert!(out.solved(), "n = {n} not solved: {out:?}");
+            assert!(p.verify(&out.solution));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_row_and_diagonal_conflicts() {
+        let p = NQueens::new(4);
+        assert!(!p.verify(&[0, 0, 1, 2])); // repeated row
+        assert!(!p.verify(&[0, 1, 2, 3])); // diagonal
+        assert!(p.verify(&[1, 3, 0, 2])); // a real solution
+    }
+
+    #[test]
+    fn swapping_equal_rows_is_a_no_op() {
+        let mut p = NQueens::new(5);
+        let perm = vec![1, 3, 0, 2, 4];
+        let c = p.init(&perm);
+        assert_eq!(p.cost_if_swap(&perm, c, 2, 2), c);
+    }
+}

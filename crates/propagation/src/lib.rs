@@ -1,0 +1,30 @@
+//! # cbls-propagation — a baseline propagation-based solver
+//!
+//! The paper's introduction motivates local search by contrast with
+//! "classical propagation-based solvers", which cannot reach the instance
+//! sizes local search handles.  To make that comparison concrete (and to
+//! cross-validate the local-search models on small instances), this crate
+//! provides a small but complete chronological-backtracking solver for
+//! permutation CSPs with:
+//!
+//! * an all-different global constraint enforced structurally (values are
+//!   consumed from a bitset as the permutation prefix grows),
+//! * problem-specific forward checks supplied through
+//!   [`PermutationConstraint`],
+//! * node/backtrack accounting and a node budget, so the exponential blow-up
+//!   can be *measured* rather than merely asserted (benchmark `baseline`).
+//!
+//! Constraints are provided for the models used in the comparison:
+//! [`QueensConstraint`], [`CostasConstraint`], [`AllIntervalConstraint`] and
+//! [`LangfordConstraint`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraints;
+mod solver;
+
+pub use constraints::{
+    AllIntervalConstraint, CostasConstraint, LangfordConstraint, QueensConstraint,
+};
+pub use solver::{BacktrackingSolver, PermutationConstraint, SolveOutcome, SolveStatus};

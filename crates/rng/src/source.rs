@@ -1,0 +1,258 @@
+//! The [`RandomSource`] trait: the minimal sampling interface the Adaptive
+//! Search engine and the multi-walk runner are generic over.
+
+/// A deterministic source of pseudo-random numbers with the sampling helpers
+/// used by constraint-based local search.
+///
+/// Implementors only provide [`next_u64`](RandomSource::next_u64); every
+/// other method has a default implementation whose behaviour is part of this
+/// crate's stability contract (changing a default would silently change every
+/// recorded experiment, so they are treated as frozen).
+pub trait RandomSource {
+    /// Produce the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 uniformly distributed bits (upper half of
+    /// [`next_u64`](RandomSource::next_u64) to avoid the weaker low bits of
+    /// some generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's unbiased multiply-shift
+    /// rejection method.  `bound` must be non-zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a non-zero bound");
+        // Lemire 2018: "Fast Random Integer Generation in an Interval".
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "range_i64 requires lo < hi");
+        let span = (hi as i128 - lo as i128) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform floating point number in `[0, 1)` with 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn bool_with_probability(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly random permutation of `0..n`.
+    fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// A reference to a uniformly chosen element of `slice`, or `None` if it
+    /// is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// Pick `k` distinct indices uniformly from `0..n` (partial Fisher–Yates,
+    /// `O(n)` memory, `O(k)` swaps).  If `k >= n` every index is returned.
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+impl<R: RandomSource + ?Sized> RandomSource for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = SplitMix64::new(3);
+        for bound in [1u64, 2, 3, 7, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(g.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut g = SplitMix64::new(5);
+        for _ in 0..50 {
+            assert_eq!(g.below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn below_zero_panics() {
+        let mut g = SplitMix64::new(5);
+        let _ = g.below(0);
+    }
+
+    #[test]
+    fn range_covers_negative_intervals() {
+        let mut g = SplitMix64::new(11);
+        for _ in 0..500 {
+            let v = g.range_i64(-10, 10);
+            assert!((-10..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut g = SplitMix64::new(13);
+        for _ in 0..1000 {
+            let x = g.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut g = SplitMix64::new(17);
+        for _ in 0..50 {
+            assert!(!g.bool_with_probability(0.0));
+            assert!(g.bool_with_probability(1.0));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_is_roughly_right() {
+        let mut g = SplitMix64::new(19);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| g.bool_with_probability(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut g = SplitMix64::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut g = SplitMix64::new(29);
+        for n in [0usize, 1, 2, 5, 64, 257] {
+            let p = g.permutation(n);
+            let mut seen = vec![false; n];
+            for &x in &p {
+                assert!(x < n);
+                assert!(!seen[x]);
+                seen[x] = true;
+            }
+            assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut g = SplitMix64::new(31);
+        let empty: [u8; 0] = [];
+        assert!(g.choose(&empty).is_none());
+        assert!(g.choose(&[42]).copied() == Some(42));
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_bounded() {
+        let mut g = SplitMix64::new(37);
+        for (n, k) in [(10usize, 3usize), (10, 10), (10, 20), (1, 1), (5, 0)] {
+            let s = g.sample_indices(n, k);
+            assert_eq!(s.len(), k.min(n));
+            let mut uniq = s.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), s.len());
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn uniformity_chi_square_below() {
+        // Coarse 16-bucket chi-square sanity check on `below(16)`.
+        let mut g = SplitMix64::new(41);
+        let mut counts = [0usize; 16];
+        let n = 32_000;
+        for _ in 0..n {
+            counts[g.below(16) as usize] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 15 degrees of freedom: 99.9th percentile is about 37.7.
+        assert!(chi2 < 45.0, "chi2 = {chi2}, counts = {counts:?}");
+    }
+
+    #[test]
+    fn trait_object_and_reference_forwarding() {
+        let mut g = SplitMix64::new(43);
+        fn takes_source<R: RandomSource>(r: &mut R) -> u64 {
+            r.next_u64()
+        }
+        let via_ref = takes_source(&mut g);
+        let mut h = SplitMix64::new(43);
+        assert_eq!(via_ref, h.next_u64());
+    }
+}

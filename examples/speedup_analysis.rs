@@ -1,0 +1,63 @@
+//! End-to-end reproduction of the paper's analysis pipeline on one benchmark:
+//! measure the sequential runtime distribution, feed it to the platform
+//! models of the HA8000 and Grid'5000 machines, and print the predicted
+//! 16..256-core speedup curves next to the ideal line.
+//!
+//! ```text
+//! cargo run --release --example speedup_analysis
+//! ```
+
+use parallel_cbls::prelude::*;
+
+fn main() {
+    let order = 11;
+    let samples = 40;
+    let benchmark = Benchmark::CostasArray(order);
+    println!(
+        "Measuring {} sequential runs of {} ...",
+        samples,
+        benchmark.label()
+    );
+
+    let search = benchmark.tuned_config();
+    let engine = AdaptiveSearch::new(search);
+    let seeds = WalkSeeds::new(42);
+    let mut iterations = Vec::new();
+    for run in 0..samples {
+        let mut problem = benchmark.build();
+        let outcome = engine.solve(&mut problem, &mut seeds.rng_of(run));
+        if outcome.solved() {
+            iterations.push(outcome.stats.iterations);
+        }
+    }
+    let distribution = EmpiricalDistribution::from_counts(&iterations);
+    println!(
+        "mean {:.0} iterations, CoV {:.2} (≈1 ⇒ exponential ⇒ linear speedup expected)\n",
+        distribution.mean(),
+        distribution.coefficient_of_variation()
+    );
+
+    // Map the distribution onto the paper's time scale: pretend the mean
+    // sequential run takes one hour, as CAP instances of paper size do.
+    let reference_throughput = distribution.mean() / 3600.0;
+    let cores = [1usize, 16, 32, 64, 128, 256];
+
+    for platform in [Platform::ha8000(), Platform::grid5000_suno()] {
+        let model = SpeedupModel::new(
+            benchmark.label(),
+            distribution.clone(),
+            reference_throughput,
+            platform.clone(),
+        );
+        let prediction = model.predict(&cores, 1);
+        println!("--- {} ---", platform.name);
+        println!("{:>6} {:>14} {:>10} {:>8}", "cores", "seconds", "speedup", "ideal");
+        for point in &prediction.points {
+            println!(
+                "{:>6} {:>14.1} {:>10.1} {:>8}",
+                point.cores, point.expected_seconds, point.speedup, point.cores
+            );
+        }
+        println!();
+    }
+}

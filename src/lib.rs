@@ -1,0 +1,66 @@
+//! # parallel-cbls — parallel constraint-based local search
+//!
+//! Facade crate of the workspace reproducing *"Performance Analysis of
+//! Parallel Constraint-Based Local Search"* (Abreu, Caniou, Codognet, Diaz,
+//! Richoux — PPoPP 2012): the Adaptive Search engine, the CSPLib / Costas
+//! Array benchmark models, the independent multi-walk parallel runners, the
+//! propagation-based baseline and the platform performance models, re-exported
+//! under one roof so that applications can depend on a single crate.
+//!
+//! ```
+//! use parallel_cbls::prelude::*;
+//!
+//! // Solve the 8-queens problem with the Adaptive Search engine.
+//! let mut problem = NQueens::new(8);
+//! let engine = AdaptiveSearch::tuned_for(&problem);
+//! let outcome = engine.solve(&mut problem, &mut default_rng(42));
+//! assert!(outcome.solved());
+//!
+//! // Run 4 independent walks on the Costas Array Problem and keep the winner.
+//! let config = MultiWalkConfig::new(4)
+//!     .with_search(Benchmark::CostasArray(9).tuned_config());
+//! let result = run_threads(&|| CostasArray::new(9), &config);
+//! assert!(result.solved());
+//! ```
+//!
+//! See the individual crates for the full APIs:
+//!
+//! * [`core`] (`cbls-core`) — engine, configuration, statistics;
+//! * [`problems`] (`cbls-problems`) — benchmark models and the registry;
+//! * [`parallel`] (`cbls-parallel`) — multi-walk runners and speedup helpers;
+//! * [`propagation`] (`cbls-propagation`) — the backtracking baseline;
+//! * [`perfmodel`] (`cbls-perfmodel`) — runtime distributions and platform
+//!   models;
+//! * [`rng`] (`as-rng`) — deterministic random streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use as_rng as rng;
+pub use cbls_core as core;
+pub use cbls_parallel as parallel;
+pub use cbls_perfmodel as perfmodel;
+pub use cbls_problems as problems;
+pub use cbls_propagation as propagation;
+
+/// The most commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use as_rng::{default_rng, DefaultRng, RandomSource, SeedSequence};
+    pub use cbls_core::{
+        AdaptiveSearch, Evaluator, EvaluatorFactory, SearchConfig, SearchOutcome, SearchStats,
+        StopControl, Summary, TerminationReason,
+    };
+    pub use cbls_parallel::{
+        dependent::{run_dependent, DependentWalkConfig},
+        run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, SimulatedMultiWalk, WalkSeeds,
+    };
+    pub use cbls_perfmodel::{EmpiricalDistribution, Platform, SpeedupModel};
+    pub use cbls_problems::{
+        AllInterval, AlphaCipher, Benchmark, CostasArray, Langford, MagicSquare, NQueens,
+        NumberPartitioning, PerfectSquare, SquarePackingInstance,
+    };
+    pub use cbls_propagation::{
+        AllIntervalConstraint, BacktrackingSolver, CostasConstraint, LangfordConstraint,
+        QueensConstraint,
+    };
+}

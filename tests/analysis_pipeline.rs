@@ -1,0 +1,104 @@
+//! End-to-end test of the paper's analysis pipeline through the public API:
+//! measure a sequential runtime distribution with the engine, feed it to the
+//! platform models, and check that the predicted curves have the properties
+//! the paper's figures rely on.
+
+use parallel_cbls::prelude::*;
+
+/// Collect iterations-to-solution for `samples` independent runs.
+fn sequential_distribution(benchmark: &Benchmark, samples: usize, master: u64) -> EmpiricalDistribution {
+    let engine = benchmark.engine();
+    let seeds = WalkSeeds::new(master);
+    let mut iterations = Vec::new();
+    for run in 0..samples {
+        let mut problem = benchmark.build();
+        let outcome = engine.solve(&mut problem, &mut seeds.rng_of(run));
+        assert!(outcome.solved(), "{} run {run} unsolved", benchmark.id());
+        iterations.push(outcome.stats.iterations);
+    }
+    EmpiricalDistribution::from_counts(&iterations)
+}
+
+#[test]
+fn predicted_speedups_are_monotone_and_bounded_by_ideal_structure() {
+    let dist = sequential_distribution(&Benchmark::CostasArray(9), 40, 9);
+    // Map onto a paper-scale sequential time of one hour so the start-up
+    // overhead is negligible, as for the paper's CAP runs.
+    let throughput = dist.mean() / 3600.0;
+    for platform in [Platform::ha8000(), Platform::grid5000_suno()] {
+        let model = SpeedupModel::new("cap-9", dist.clone(), throughput, platform);
+        let prediction = model.predict(&[1, 2, 4, 8, 16, 32], 1);
+        let speedups: Vec<f64> = prediction.points.iter().map(|p| p.speedup).collect();
+        // monotone non-decreasing in the number of walks
+        assert!(speedups.windows(2).all(|w| w[1] >= w[0] * 0.999), "{speedups:?}");
+        // speedup at 1 core is exactly 1 and everything is positive
+        assert!((speedups[0] - 1.0).abs() < 1e-9);
+        assert!(speedups.iter().all(|s| *s > 0.0));
+    }
+}
+
+#[test]
+fn platform_overhead_orders_the_platforms_consistently() {
+    // For a fixed distribution and a *short* paper-scale run, the platform
+    // with the larger start-up overhead must predict lower speedups at high
+    // core counts — the mechanism behind the paper's perfect-square remark.
+    let dist = sequential_distribution(&Benchmark::PerfectSquareOrder9, 40, 11);
+    let throughput = dist.mean() / 4.0; // 4 seconds of sequential work
+    let ha = SpeedupModel::new("ps", dist.clone(), throughput, Platform::ha8000())
+        .predict(&[1, 64, 256], 1);
+    let suno = SpeedupModel::new("ps", dist, throughput, Platform::grid5000_suno())
+        .predict(&[1, 64, 256], 1);
+    let ha256 = ha.speedup_at(256).unwrap();
+    let suno256 = suno.speedup_at(256).unwrap();
+    assert!(
+        ha256 >= suno256,
+        "HA8000 (lower overhead) should keep more of the speedup: {ha256} vs {suno256}"
+    );
+}
+
+#[test]
+fn simulated_walks_and_order_statistics_tell_the_same_story() {
+    // The expected minimum computed from the sequential distribution must be
+    // consistent with actually replaying p independent walks: the replayed
+    // p-walk iteration count is one draw of the minimum, so over a few
+    // master seeds its average should be within a factor ~2 of the
+    // order-statistic expectation.
+    let benchmark = Benchmark::CostasArray(9);
+    let search = benchmark.tuned_config();
+    let dist = sequential_distribution(&benchmark, 60, 21);
+    let p = 8;
+    let expected = dist.expected_min_of(p);
+
+    let mut observed = Vec::new();
+    for master in 0..5u64 {
+        let sim = SimulatedMultiWalk::replay(&|| CostasArray::new(9), &search, 1000 + master, p);
+        if let Some(iters) = sim.parallel_iterations(p) {
+            observed.push(iters as f64);
+        }
+    }
+    assert!(!observed.is_empty());
+    let mean_observed = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ratio = mean_observed / expected;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "order statistics ({expected:.0}) and replay ({mean_observed:.0}) diverge wildly"
+    );
+}
+
+#[test]
+fn coefficient_of_variation_separates_the_two_regimes() {
+    // The paper's two regimes: CAP behaves like an exponential (CoV ≈ 1 or
+    // above), while a nearly deterministic workload has CoV ≈ 0.  Check that
+    // the measured CAP CoV is clearly in the stochastic regime.
+    let cap = sequential_distribution(&Benchmark::CostasArray(10), 40, 31);
+    assert!(
+        cap.coefficient_of_variation() > 0.5,
+        "CAP runtimes should be strongly stochastic, CoV = {}",
+        cap.coefficient_of_variation()
+    );
+    // And the expected-minimum ratio reflects it: doubling the walks from 4
+    // to 8 buys a non-trivial reduction.
+    let at4 = cap.expected_min_of(4);
+    let at8 = cap.expected_min_of(8);
+    assert!(at8 < at4);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate property-based tests on the public API.
+
+use parallel_cbls::prelude::*;
+use proptest::prelude::*;
+
+/// Build one of the benchmark evaluators from a small strategy space.
+fn arbitrary_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        (4usize..=6).prop_map(Benchmark::MagicSquare),
+        (6usize..=14).prop_map(Benchmark::AllInterval),
+        (4usize..=12).prop_map(Benchmark::CostasArray),
+        (4usize..=20).prop_map(Benchmark::NQueens),
+        (3usize..=8).prop_map(Benchmark::Langford),
+        (2usize..=6).prop_map(|k| Benchmark::NumberPartitioning(4 * k)),
+        Just(Benchmark::PerfectSquareOrder9),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every model and every random permutation, `cost_if_swap` agrees
+    /// with a from-scratch recomputation — the central correctness contract
+    /// of the incremental evaluators, exercised here through the public
+    /// boxed-evaluator API rather than per-crate internals.
+    #[test]
+    fn incremental_swap_costs_match_recomputation(
+        benchmark in arbitrary_benchmark(),
+        seed in any::<u64>(),
+    ) {
+        let mut evaluator = benchmark.build();
+        let n = evaluator.size();
+        prop_assume!(n >= 2);
+        let mut rng = default_rng(seed);
+        let perm = rng.permutation(n);
+        let cost = evaluator.init(&perm);
+        prop_assert!(cost >= 0);
+        prop_assert_eq!(cost, evaluator.cost(&perm));
+
+        for _ in 0..4 {
+            let i = rng.index(n);
+            let j = rng.index(n);
+            if i == j {
+                continue;
+            }
+            let predicted = evaluator.cost_if_swap(&perm, cost, i, j);
+            let mut probe = perm.clone();
+            probe.swap(i, j);
+            prop_assert_eq!(predicted, evaluator.cost(&probe), "{} swap {},{}", benchmark.id(), i, j);
+        }
+    }
+
+    /// Zero cost and the independent verifier agree on every model.
+    #[test]
+    fn zero_cost_iff_verified(benchmark in arbitrary_benchmark(), seed in any::<u64>()) {
+        let mut evaluator = benchmark.build();
+        let n = evaluator.size();
+        prop_assume!(n >= 2);
+        let mut rng = default_rng(seed);
+        let perm = rng.permutation(n);
+        let cost = evaluator.init(&perm);
+        prop_assert_eq!(cost == 0, evaluator.verify(&perm), "{}", benchmark.id());
+    }
+
+    /// The engine never reports success with a cost above the target, and its
+    /// reported best cost always matches a recomputation of the returned
+    /// solution.
+    #[test]
+    fn reported_outcomes_are_honest(
+        benchmark in arbitrary_benchmark(),
+        seed in any::<u64>(),
+    ) {
+        let mut evaluator = benchmark.build();
+        // Small budget: the point is honesty of the report, not solving.
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(2_000)
+            .max_restarts(1)
+            .build();
+        let engine = AdaptiveSearch::new(config);
+        let outcome = engine.solve(&mut evaluator, &mut default_rng(seed));
+        let recomputed = evaluator.cost(&outcome.solution);
+        prop_assert_eq!(outcome.best_cost, recomputed, "{}", benchmark.id());
+        if outcome.solved() {
+            prop_assert!(outcome.best_cost <= 0);
+            prop_assert!(evaluator.verify(&outcome.solution));
+        }
+    }
+
+    /// Expected minimum of `p` draws from any empirical distribution is
+    /// monotone non-increasing in `p` and bounded by the sample min/mean.
+    #[test]
+    fn expected_min_is_monotone(
+        samples in proptest::collection::vec(1.0f64..1e6, 2..80),
+        p in 1usize..200,
+    ) {
+        let dist = EmpiricalDistribution::new(&samples);
+        let at_p = dist.expected_min_of(p);
+        let at_p_plus = dist.expected_min_of(p + 1);
+        prop_assert!(at_p_plus <= at_p + 1e-9);
+        prop_assert!(at_p <= dist.mean() + 1e-9);
+        prop_assert!(at_p >= dist.min() - 1e-9);
+    }
+
+    /// Multi-walk seed derivation is collision-free over small families and
+    /// independent of the number of walks requested.
+    #[test]
+    fn walk_seed_families_are_consistent(master in any::<u64>(), walks in 2usize..64) {
+        let seeds = WalkSeeds::new(master);
+        let family: Vec<u64> = (0..walks).map(|w| seeds.seed_of(w)).collect();
+        let mut unique = family.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), family.len());
+    }
+}
