@@ -13,7 +13,10 @@ use cbls_problems::{CostasArray, MagicSquare};
 fn solve_with(config: &SearchConfig, seed: u64) -> u64 {
     let mut p = CostasArray::new(10);
     let engine = AdaptiveSearch::new(config.clone());
-    engine.solve(&mut p, &mut default_rng(seed)).stats.iterations
+    engine
+        .solve(&mut p, &mut default_rng(seed))
+        .stats
+        .iterations
 }
 
 fn tuned_base() -> SearchConfig {
@@ -80,7 +83,11 @@ fn bench_neighbourhood(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_neighbourhood_magic5");
     group.sample_size(10);
     for exhaustive in [false, true] {
-        let label = if exhaustive { "exhaustive" } else { "worst-variable" };
+        let label = if exhaustive {
+            "exhaustive"
+        } else {
+            "worst-variable"
+        };
         group.bench_function(label, |b| {
             let problem = MagicSquare::new(5);
             let mut config = SearchConfig::default();
@@ -91,7 +98,12 @@ fn bench_neighbourhood(c: &mut Criterion) {
                 seed += 1;
                 let mut p = MagicSquare::new(5);
                 let engine = AdaptiveSearch::new(config.clone());
-                black_box(engine.solve(&mut p, &mut default_rng(seed)).stats.iterations)
+                black_box(
+                    engine
+                        .solve(&mut p, &mut default_rng(seed))
+                        .stats
+                        .iterations,
+                )
             })
         });
     }

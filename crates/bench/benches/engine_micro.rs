@@ -78,7 +78,12 @@ fn bench_full_solve(c: &mut Criterion) {
                 seed += 1;
                 let mut p = CostasArray::new(n);
                 let engine = AdaptiveSearch::tuned_for(&p);
-                black_box(engine.solve(&mut p, &mut default_rng(seed)).stats.iterations)
+                black_box(
+                    engine
+                        .solve(&mut p, &mut default_rng(seed))
+                        .stats
+                        .iterations,
+                )
             })
         });
     }
@@ -89,7 +94,12 @@ fn bench_full_solve(c: &mut Criterion) {
             seed += 1;
             let mut p = NQueens::new(64);
             let engine = AdaptiveSearch::tuned_for(&p);
-            black_box(engine.solve(&mut p, &mut default_rng(seed)).stats.iterations)
+            black_box(
+                engine
+                    .solve(&mut p, &mut default_rng(seed))
+                    .stats
+                    .iterations,
+            )
         })
     });
     group.finish();

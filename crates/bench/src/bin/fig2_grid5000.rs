@@ -38,8 +38,10 @@ fn main() {
     println!("Suno vs Helios speedup ratio at the largest common core count:");
     for (s, h) in suno.iter().zip(helios.iter()) {
         let cores = 128;
-        if let (Some(a), Some(b)) = (s.prediction.speedup_at(cores), h.prediction.speedup_at(cores))
-        {
+        if let (Some(a), Some(b)) = (
+            s.prediction.speedup_at(cores),
+            h.prediction.speedup_at(cores),
+        ) {
             println!(
                 "  {:<28} {:>6} vs {:>6}  (ratio {:.2})",
                 s.benchmark.label(),

@@ -82,8 +82,7 @@ pub fn benchmark_speedup(
     let samples = collect_sequential_samples(benchmark, config);
     let distribution = iteration_distribution(&samples)?;
     let local_throughput = median_throughput(&samples);
-    let scaled_throughput =
-        paper_scale_throughput(&distribution, paper_scale_seconds(benchmark));
+    let scaled_throughput = paper_scale_throughput(&distribution, paper_scale_seconds(benchmark));
     let model = SpeedupModel::new(
         benchmark.label(),
         distribution.clone(),
@@ -174,7 +173,14 @@ pub fn cap_figure(
             "CAP {cap_order} speedups w.r.t. 32 cores on {} (paper: CAP 22, ideal = cores/32)",
             platform.name
         ),
-        &["cores", "speedup_vs_32", "ideal", "efficiency", "log2_cores", "log2_speedup"],
+        &[
+            "cores",
+            "speedup_vs_32",
+            "ideal",
+            "efficiency",
+            "log2_cores",
+            "log2_speedup",
+        ],
     );
     for point in &result.prediction.points {
         if point.cores < 32 {
@@ -204,7 +210,13 @@ pub fn cap_order_trend_table(
 ) -> Table {
     let mut table = Table::new(
         "CAP speedup at 256 cores (vs 32) as the order grows",
-        &["order", "mean_iterations", "CoV", "speedup_256_vs_32", "ideal"],
+        &[
+            "order",
+            "mean_iterations",
+            "CoV",
+            "speedup_256_vs_32",
+            "ideal",
+        ],
     );
     for &order in orders {
         let sweep = ExperimentConfig {
@@ -283,7 +295,11 @@ pub fn summary_table(config: &ExperimentConfig, cap_order: usize) -> Table {
         let ideal = curve.is_nearly_ideal(0.25);
         table.push_row(vec![
             format!("CAP-{cap_order} (vs 32)"),
-            if ideal { "near-ideal".to_string() } else { "sub-ideal".to_string() },
+            if ideal {
+                "near-ideal".to_string()
+            } else {
+                "sub-ideal".to_string()
+            },
             "linear (ideal)".to_string(),
         ]);
     }
@@ -302,7 +318,13 @@ pub fn size_scaling_table(config: &ExperimentConfig, cores: usize) -> Table {
     ];
     let mut table = Table::new(
         format!("speedup at {cores} cores for two instance sizes (bigger ⇒ better)"),
-        &["model", "small_instance", "speedup_small", "large_instance", "speedup_large"],
+        &[
+            "model",
+            "small_instance",
+            "speedup_small",
+            "large_instance",
+            "speedup_large",
+        ],
     );
     for (small, large) in pairs {
         let sweep = ExperimentConfig {
@@ -313,7 +335,12 @@ pub fn size_scaling_table(config: &ExperimentConfig, cores: usize) -> Table {
         let l = benchmark_speedup(&large, &platform, &sweep, 1);
         if let (Some(s), Some(l)) = (s, l) {
             table.push_row(vec![
-                small.label().split_whitespace().next().unwrap_or("?").to_string(),
+                small
+                    .label()
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("?")
+                    .to_string(),
                 small.label(),
                 fmt_f64(s.prediction.speedup_at(cores).unwrap_or(0.0)),
                 large.label(),
@@ -330,10 +357,19 @@ pub fn size_scaling_table(config: &ExperimentConfig, cores: usize) -> Table {
 /// mean sequential iterations for a range of orders, fits the exponential
 /// growth rate and extrapolates to the target order.
 #[must_use]
-pub fn cap_scaling_table(config: &ExperimentConfig, orders: &[usize], target_order: usize) -> Table {
+pub fn cap_scaling_table(
+    config: &ExperimentConfig,
+    orders: &[usize],
+    target_order: usize,
+) -> Table {
     let mut table = Table::new(
         format!("CAP sequential hardness and extrapolation to n = {target_order}"),
-        &["order", "mean_iterations", "success_rate", "mean_seconds_local"],
+        &[
+            "order",
+            "mean_iterations",
+            "success_rate",
+            "mean_seconds_local",
+        ],
     );
     let mut log_means: Vec<(f64, f64)> = Vec::new();
     for &n in orders {

@@ -251,8 +251,8 @@ impl AdaptiveSearch {
                     // --- select the worst (highest error) non-frozen variable ---
                     let mut max_err = i64::MIN;
                     ties.clear();
-                    for i in 0..n {
-                        if marks[i] > now {
+                    for (i, &mark) in marks.iter().enumerate().take(n) {
+                        if mark > now {
                             continue;
                         }
                         let err = eval.cost_on_variable(&perm, i);

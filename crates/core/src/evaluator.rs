@@ -293,7 +293,11 @@ mod tests {
                 }
                 let mut probe = perm.clone();
                 probe.swap(i, j);
-                assert_eq!(p.cost_if_swap(&perm, c, i, j), p.cost(&probe), "i={i} j={j}");
+                assert_eq!(
+                    p.cost_if_swap(&perm, c, i, j),
+                    p.cost(&probe),
+                    "i={i} j={j}"
+                );
             }
         }
     }

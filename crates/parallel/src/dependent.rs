@@ -208,12 +208,8 @@ where
                     (None, None) => None,
                 };
 
-                let outcome = engine.solve_from(
-                    &mut evaluator,
-                    &mut state.rng,
-                    &stop,
-                    initial.as_deref(),
-                );
+                let outcome =
+                    engine.solve_from(&mut evaluator, &mut state.rng, &stop, initial.as_deref());
                 total_stats.lock().merge(&outcome.stats);
 
                 if outcome.best_cost < state.best_cost {
@@ -224,9 +220,7 @@ where
                 // Publish to the elite pool (minimal data transfer: one
                 // configuration).
                 let mut guard = elite.lock();
-                let better = guard
-                    .as_ref()
-                    .map_or(true, |e| outcome.best_cost < e.cost);
+                let better = guard.as_ref().is_none_or(|e| outcome.best_cost < e.cost);
                 if better {
                     *guard = Some(Elite {
                         cost: outcome.best_cost,

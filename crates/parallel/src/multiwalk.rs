@@ -110,7 +110,10 @@ impl MultiWalkResult {
     /// Total iterations across all walks (the parallel scheme's total work).
     #[must_use]
     pub fn total_iterations(&self) -> u64 {
-        self.reports.iter().map(|r| r.outcome.stats.iterations).sum()
+        self.reports
+            .iter()
+            .map(|r| r.outcome.stats.iterations)
+            .sum()
     }
 
     /// Summary of per-walk iteration counts.
@@ -336,10 +339,7 @@ mod tests {
         let result = run_threads(&|| Hopeless(8), &cfg);
         assert!(!result.solved());
         assert!(started.elapsed() < Duration::from_secs(10));
-        assert!(result
-            .reports
-            .iter()
-            .all(|r| !r.outcome.solved()));
+        assert!(result.reports.iter().all(|r| !r.outcome.solved()));
     }
 
     #[test]

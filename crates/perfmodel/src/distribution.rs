@@ -24,7 +24,10 @@ impl EmpiricalDistribution {
     /// Panics if `samples` is empty or contains negative / non-finite values.
     #[must_use]
     pub fn new(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "an empirical distribution needs samples");
+        assert!(
+            !samples.is_empty(),
+            "an empirical distribution needs samples"
+        );
         assert!(
             samples.iter().all(|x| x.is_finite() && *x >= 0.0),
             "samples must be finite and non-negative"
@@ -212,7 +215,9 @@ impl EmpiricalDistribution {
             };
             let emp_hi = (i as f64 + 1.0) / n;
             let emp_lo = i as f64 / n;
-            worst = worst.max((model - emp_hi).abs()).max((model - emp_lo).abs());
+            worst = worst
+                .max((model - emp_hi).abs())
+                .max((model - emp_lo).abs());
         }
         worst
     }
@@ -302,7 +307,7 @@ mod tests {
             .collect();
         let d = EmpiricalDistribution::new(&samples);
         let (shift, scale) = d.fit_shifted_exponential();
-        assert!(shift >= 100.0 && shift < 101.0, "shift = {shift}");
+        assert!((100.0..101.0).contains(&shift), "shift = {shift}");
         assert!((scale - 20.0).abs() < 3.0, "scale = {scale}");
         assert!(d.ks_distance_shifted_exponential(shift, scale) < 0.1);
         // a deliberately wrong model has a much larger distance

@@ -110,7 +110,11 @@ impl Platform {
     /// All paper platforms, in the order they appear in the figures.
     #[must_use]
     pub fn paper_platforms() -> Vec<Platform> {
-        vec![Self::ha8000(), Self::grid5000_suno(), Self::grid5000_helios()]
+        vec![
+            Self::ha8000(),
+            Self::grid5000_suno(),
+            Self::grid5000_helios(),
+        ]
     }
 
     /// Total cores of the machine.
@@ -145,7 +149,8 @@ impl Platform {
     /// walk performs `iterations` engine iterations.
     #[must_use]
     pub fn parallel_job_seconds(&self, iterations: f64, reference_iters_per_sec: f64) -> f64 {
-        self.startup_overhead_secs + self.seconds_for_iterations(iterations, reference_iters_per_sec)
+        self.startup_overhead_secs
+            + self.seconds_for_iterations(iterations, reference_iters_per_sec)
     }
 
     /// The core counts the paper sweeps on this platform (powers of two from

@@ -185,7 +185,7 @@ mod tests {
     fn float_formatting_ranges() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.1234), "0.1234");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(std::f64::consts::PI), "3.14");
         assert_eq!(fmt_f64(123.456), "123.5");
     }
 

@@ -162,7 +162,11 @@ mod tests {
 
     fn exponential_distribution(mean: f64, n: usize, seed: u64) -> EmpiricalDistribution {
         let mut rng = default_rng(seed);
-        EmpiricalDistribution::new(&(0..n).map(|_| exponential(&mut rng, mean)).collect::<Vec<_>>())
+        EmpiricalDistribution::new(
+            &(0..n)
+                .map(|_| exponential(&mut rng, mean))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -197,7 +201,10 @@ mod tests {
         let prediction = model.predict(&[1, 16, 64, 256], 1);
         let s256 = prediction.speedup_at(256).unwrap();
         // the asymptotic bound is (8e5+2e5)/8e5 = 1.25 plus overhead effects
-        assert!(s256 < 2.0, "saturating curve should stay well below ideal, got {s256}");
+        assert!(
+            s256 < 2.0,
+            "saturating curve should stay well below ideal, got {s256}"
+        );
         assert!(prediction.efficiency_at(256).unwrap() < 0.05);
     }
 

@@ -6,7 +6,9 @@ use std::time::Instant;
 
 fn main() {
     for n in [12usize, 14, 16, 18] {
-        let mut total = 0u64; let mut solved = 0; let start = Instant::now();
+        let mut total = 0u64;
+        let mut solved = 0;
+        let start = Instant::now();
         for seed in 0..5 {
             let mut p = AllInterval::new(n);
             let e = AdaptiveSearch::tuned_for(&p);
@@ -14,10 +16,16 @@ fn main() {
             total += out.stats.iterations;
             solved += out.solved() as u32;
         }
-        println!("all-interval {n}: solved {solved}/5 mean iters {} time {:?}", total/5, start.elapsed());
+        println!(
+            "all-interval {n}: solved {solved}/5 mean iters {} time {:?}",
+            total / 5,
+            start.elapsed()
+        );
     }
     for n in [5usize, 6, 7, 8] {
-        let mut total = 0u64; let mut solved = 0; let start = Instant::now();
+        let mut total = 0u64;
+        let mut solved = 0;
+        let start = Instant::now();
         for seed in 0..5 {
             let mut p = MagicSquare::new(n);
             let e = AdaptiveSearch::tuned_for(&p);
@@ -25,10 +33,16 @@ fn main() {
             total += out.stats.iterations;
             solved += out.solved() as u32;
         }
-        println!("magic {n}: solved {solved}/5 mean iters {} time {:?}", total/5, start.elapsed());
+        println!(
+            "magic {n}: solved {solved}/5 mean iters {} time {:?}",
+            total / 5,
+            start.elapsed()
+        );
     }
     for n in [12usize, 13] {
-        let mut total = 0u64; let mut solved = 0; let start = Instant::now();
+        let mut total = 0u64;
+        let mut solved = 0;
+        let start = Instant::now();
         for seed in 0..5 {
             let mut p = CostasArray::new(n);
             let e = AdaptiveSearch::tuned_for(&p);
@@ -36,6 +50,10 @@ fn main() {
             total += out.stats.iterations;
             solved += out.solved() as u32;
         }
-        println!("costas {n}: solved {solved}/5 mean iters {} time {:?}", total/5, start.elapsed());
+        println!(
+            "costas {n}: solved {solved}/5 mean iters {} time {:?}",
+            total / 5,
+            start.elapsed()
+        );
     }
 }

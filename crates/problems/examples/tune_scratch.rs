@@ -32,11 +32,18 @@ fn trial<E: Evaluator + Clone>(label: &str, problem: &E, config: &SearchConfig, 
     );
 }
 
-fn sweep<E: Evaluator + Clone>(name: &str, problem: &E, runs: u64, per_restart: u64, restarts: u32) {
+fn sweep<E: Evaluator + Clone>(
+    name: &str,
+    problem: &E,
+    runs: u64,
+    per_restart: u64,
+    restarts: u32,
+) {
     println!("--- {name} ---");
     for plateau in [0.0, 0.1, 0.3] {
         for freeze in [1u64, 3] {
-            for (rl_name, reset_limit) in [("rl3", 3usize), ("rl10%", (problem.size() / 10).max(2))] {
+            for (rl_name, reset_limit) in [("rl3", 3usize), ("rl10%", (problem.size() / 10).max(2))]
+            {
                 for plm in [0.0, 0.05] {
                     let cfg = SearchConfig::builder()
                         .plateau_probability(plateau)
@@ -80,7 +87,12 @@ fn main() {
                 .max_iterations_per_restart(20_000)
                 .max_restarts(20)
                 .build();
-            trial(&format!("alpha-ex/{name}"), &AlphaCipher::standard(), &cfg, 5);
+            trial(
+                &format!("alpha-ex/{name}"),
+                &AlphaCipher::standard(),
+                &cfg,
+                5,
+            );
         }
         sweep("alpha", &AlphaCipher::standard(), 5, 50_000, 10);
     }

@@ -32,10 +32,7 @@ impl AllInterval {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "all-interval series needs at least two elements");
-        Self {
-            n,
-            occ: vec![0; n],
-        }
+        Self { n, occ: vec![0; n] }
     }
 
     /// Series length `n`.

@@ -145,7 +145,10 @@ impl AlphaCipher {
     /// encoded as a permutation (`perm[letter] = value − 1`).
     #[must_use]
     pub fn reference_solution() -> Vec<usize> {
-        REFERENCE_ASSIGNMENT.iter().map(|&v| (v - 1) as usize).collect()
+        REFERENCE_ASSIGNMENT
+            .iter()
+            .map(|&v| (v - 1) as usize)
+            .collect()
     }
 
     /// The word equations of this instance.
@@ -231,8 +234,8 @@ impl Evaluator for AlphaCipher {
             }
             handled.push(eq_idx);
             let eq = &self.equations[eq_idx];
-            let delta = i64::from(eq.letter_counts[i]) * delta_i
-                + i64::from(eq.letter_counts[j]) * delta_j;
+            let delta =
+                i64::from(eq.letter_counts[i]) * delta_i + i64::from(eq.letter_counts[j]) * delta_j;
             if delta != 0 {
                 cost -= (self.sums[eq_idx] - eq.total).abs();
                 cost += (self.sums[eq_idx] + delta - eq.total).abs();
@@ -260,8 +263,8 @@ impl Evaluator for AlphaCipher {
             }
             handled.push(eq_idx);
             let eq = &self.equations[eq_idx];
-            self.sums[eq_idx] += i64::from(eq.letter_counts[i]) * delta_i
-                + i64::from(eq.letter_counts[j]) * delta_j;
+            self.sums[eq_idx] +=
+                i64::from(eq.letter_counts[i]) * delta_i + i64::from(eq.letter_counts[j]) * delta_j;
         }
     }
 
@@ -292,7 +295,9 @@ impl Evaluator for AlphaCipher {
             seen[v] = true;
         }
         let values = Self::assignment(perm);
-        self.equations.iter().all(|eq| eq.sum_under(&values) == eq.total)
+        self.equations
+            .iter()
+            .all(|eq| eq.sum_under(&values) == eq.total)
     }
 }
 
@@ -337,7 +342,10 @@ mod tests {
         assert_eq!(eq.letter_counts[(b'g' - b'a') as usize], 1);
         assert_eq!(eq.letter_counts[(b'l' - b'a') as usize], 1);
         assert_eq!(eq.letter_counts[(b'e' - b'a') as usize], 2);
-        assert_eq!(eq.letter_counts.iter().map(|&c| c as usize).sum::<usize>(), 4);
+        assert_eq!(
+            eq.letter_counts.iter().map(|&c| c as usize).sum::<usize>(),
+            4
+        );
     }
 
     #[test]
@@ -376,6 +384,9 @@ mod tests {
                 positive += 1;
             }
         }
-        assert!(positive >= 19, "random permutations should essentially never solve alpha");
+        assert!(
+            positive >= 19,
+            "random permutations should essentially never solve alpha"
+        );
     }
 }

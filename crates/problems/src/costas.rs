@@ -97,8 +97,8 @@ impl CostasArray {
     pub fn render(&self, perm: &[usize]) -> String {
         let mut out = String::new();
         for r in (0..self.n).rev() {
-            for c in 0..self.n {
-                out.push(if perm[c] == r { 'X' } else { '.' });
+            for &column in perm.iter().take(self.n) {
+                out.push(if column == r { 'X' } else { '.' });
                 out.push(' ');
             }
             out.push('\n');

@@ -32,7 +32,10 @@ impl NumberPartitioning {
     /// otherwise non-integral; solutions additionally require `n ≡ 0 mod 8`).
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n % 4 == 0, "number partitioning needs n ≡ 0 (mod 4)");
+        assert!(
+            n > 0 && n % 4 == 0,
+            "number partitioning needs n ≡ 0 (mod 4)"
+        );
         let n_i = n as i64;
         let total_sum = n_i * (n_i + 1) / 2;
         let total_sq = n_i * (n_i + 1) * (2 * n_i + 1) / 6;

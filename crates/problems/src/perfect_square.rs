@@ -71,7 +71,10 @@ impl SquarePackingInstance {
     /// Total area of the squares.
     #[must_use]
     pub fn squares_area(&self) -> u64 {
-        self.sizes.iter().map(|&s| u64::from(s) * u64::from(s)).sum()
+        self.sizes
+            .iter()
+            .map(|&s| u64::from(s) * u64::from(s))
+            .sum()
     }
 
     /// Area of the master rectangle.
@@ -288,7 +291,10 @@ mod tests {
     fn csplib_instance_is_area_consistent() {
         let inst = SquarePackingInstance::csplib_order21();
         assert_eq!(inst.sizes.len(), 21);
-        assert!(inst.is_area_consistent(), "areas must match for a perfect square");
+        assert!(
+            inst.is_area_consistent(),
+            "areas must match for a perfect square"
+        );
     }
 
     #[test]
@@ -356,7 +362,10 @@ mod tests {
         let mut p = PerfectSquare::order9();
         let engine = AdaptiveSearch::tuned_for(&p);
         let out = engine.solve(&mut p, &mut default_rng(903));
-        assert!(out.solved(), "order-9 squared rectangle not packed: {out:?}");
+        assert!(
+            out.solved(),
+            "order-9 squared rectangle not packed: {out:?}"
+        );
         assert!(p.verify(&out.solution));
     }
 
@@ -371,7 +380,7 @@ mod tests {
         // true packing (classic): 18@(0,0), 15@(18,0), 7@(18,15), 8@(25,15),
         // 14@(0,18), 10@(14,18), 1@(14,28), 9@(24,23), 4@(14,29)... order by (y,x):
         let order = [0usize, 1, 6, 5, 2, 3, 4, 8, 7];
-        let cost = p.cost(&order.to_vec());
+        let cost = p.cost(&order);
         // The decoder may or may not hit the exact historical layout, but a
         // perfect order exists; assert this one is at least well-formed and
         // that *some* order found by search reaches zero (covered above).

@@ -111,10 +111,10 @@ impl Evaluator for NQueens {
         let mut adjust_down: Vec<(usize, i64)> = Vec::with_capacity(4);
 
         let apply = |cost: &mut i64,
-                         counts: &[u32],
-                         adjust: &mut Vec<(usize, i64)>,
-                         idx: usize,
-                         delta: i64| {
+                     counts: &[u32],
+                     adjust: &mut Vec<(usize, i64)>,
+                     idx: usize,
+                     delta: i64| {
             let current = i64::from(counts[idx])
                 + adjust
                     .iter()
@@ -126,10 +126,34 @@ impl Evaluator for NQueens {
             adjust.push((idx, delta));
         };
 
-        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(i, perm[i]), -1);
-        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(j, perm[j]), -1);
-        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(i, perm[j]), 1);
-        apply(&mut cost, &self.diag_up, &mut adjust_up, self.up(j, perm[i]), 1);
+        apply(
+            &mut cost,
+            &self.diag_up,
+            &mut adjust_up,
+            self.up(i, perm[i]),
+            -1,
+        );
+        apply(
+            &mut cost,
+            &self.diag_up,
+            &mut adjust_up,
+            self.up(j, perm[j]),
+            -1,
+        );
+        apply(
+            &mut cost,
+            &self.diag_up,
+            &mut adjust_up,
+            self.up(i, perm[j]),
+            1,
+        );
+        apply(
+            &mut cost,
+            &self.diag_up,
+            &mut adjust_up,
+            self.up(j, perm[i]),
+            1,
+        );
 
         apply(
             &mut cost,

@@ -208,7 +208,9 @@ mod tests {
         let solver = BacktrackingSolver::default();
         for n in [3usize, 5, 8, 10] {
             let outcome = solver.solve(&AllIntervalConstraint::new(n));
-            let perm = outcome.solution.unwrap_or_else(|| panic!("AIS({n}) exists"));
+            let perm = outcome
+                .solution
+                .unwrap_or_else(|| panic!("AIS({n}) exists"));
             let mut seen = std::collections::HashSet::new();
             for w in perm.windows(2) {
                 assert!(seen.insert(w[0].abs_diff(w[1])));
@@ -231,7 +233,12 @@ mod tests {
         let outcome = solver.solve(&LangfordConstraint::new(4));
         let perm = outcome.solution.expect("L(2,4) exists");
         for k in 0..4 {
-            assert_eq!(perm[2 * k].abs_diff(perm[2 * k + 1]), k + 2, "number {}", k + 1);
+            assert_eq!(
+                perm[2 * k].abs_diff(perm[2 * k + 1]),
+                k + 2,
+                "number {}",
+                k + 1
+            );
         }
     }
 

@@ -45,10 +45,7 @@ fn main() {
     // walk runs to completion so one replay covers all walk counts.
     println!("\nSimulated multi-walk (iteration counts, machine-independent):");
     let sim = SimulatedMultiWalk::replay(&|| CostasArray::new(order), &search, 2012, max_walks);
-    println!(
-        "{:>6} {:>16} {:>10}",
-        "walks", "winner-iters", "speedup"
-    );
+    println!("{:>6} {:>16} {:>10}", "walks", "winner-iters", "speedup");
     let mut walks = 1;
     while walks <= max_walks {
         println!(

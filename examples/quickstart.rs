@@ -54,6 +54,9 @@ fn main() {
     let mut magic = MagicSquare::new(4);
     let engine = AdaptiveSearch::tuned_for(&magic);
     let outcome = engine.solve(&mut magic, &mut default_rng(7));
-    println!("A 4x4 magic square (magic constant {}):", magic.magic_constant());
+    println!(
+        "A 4x4 magic square (magic constant {}):",
+        magic.magic_constant()
+    );
     println!("{}", magic.render(&outcome.solution));
 }

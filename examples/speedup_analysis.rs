@@ -51,7 +51,10 @@ fn main() {
         );
         let prediction = model.predict(&cores, 1);
         println!("--- {} ---", platform.name);
-        println!("{:>6} {:>14} {:>10} {:>8}", "cores", "seconds", "speedup", "ideal");
+        println!(
+            "{:>6} {:>14} {:>10} {:>8}",
+            "cores", "seconds", "speedup", "ideal"
+        );
         for point in &prediction.points {
             println!(
                 "{:>6} {:>14.1} {:>10.1} {:>8}",

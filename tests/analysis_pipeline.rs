@@ -6,7 +6,11 @@
 use parallel_cbls::prelude::*;
 
 /// Collect iterations-to-solution for `samples` independent runs.
-fn sequential_distribution(benchmark: &Benchmark, samples: usize, master: u64) -> EmpiricalDistribution {
+fn sequential_distribution(
+    benchmark: &Benchmark,
+    samples: usize,
+    master: u64,
+) -> EmpiricalDistribution {
     let engine = benchmark.engine();
     let seeds = WalkSeeds::new(master);
     let mut iterations = Vec::new();
@@ -30,7 +34,10 @@ fn predicted_speedups_are_monotone_and_bounded_by_ideal_structure() {
         let prediction = model.predict(&[1, 2, 4, 8, 16, 32], 1);
         let speedups: Vec<f64> = prediction.points.iter().map(|p| p.speedup).collect();
         // monotone non-decreasing in the number of walks
-        assert!(speedups.windows(2).all(|w| w[1] >= w[0] * 0.999), "{speedups:?}");
+        assert!(
+            speedups.windows(2).all(|w| w[1] >= w[0] * 0.999),
+            "{speedups:?}"
+        );
         // speedup at 1 core is exactly 1 and everything is positive
         assert!((speedups[0] - 1.0).abs() < 1e-9);
         assert!(speedups.iter().all(|s| *s > 0.0));

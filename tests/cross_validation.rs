@@ -27,7 +27,9 @@ fn backtracking_solutions_have_zero_local_search_cost() {
 
     for n in [5usize, 8, 11] {
         let outcome = solver.solve(&AllIntervalConstraint::new(n));
-        let solution = outcome.solution.expect("all-interval instances are satisfiable");
+        let solution = outcome
+            .solution
+            .expect("all-interval instances are satisfiable");
         let mut evaluator = AllInterval::new(n);
         assert_eq!(evaluator.init(&solution), 0, "all-interval {n}");
         assert!(evaluator.verify(&solution));
@@ -77,7 +79,10 @@ fn local_search_solutions_satisfy_the_propagation_constraints() {
     let engine = AdaptiveSearch::tuned_for(&interval);
     let outcome = engine.solve(&mut interval, &mut default_rng(19));
     assert!(outcome.solved());
-    assert!(accepted_by(&AllIntervalConstraint::new(14), &outcome.solution));
+    assert!(accepted_by(
+        &AllIntervalConstraint::new(14),
+        &outcome.solution
+    ));
 }
 
 #[test]

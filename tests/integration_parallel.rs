@@ -13,8 +13,8 @@ fn independent_multiwalk_solves_costas_with_every_backend() {
     let threads = run_threads(&|| CostasArray::new(10), &config);
     assert!(threads.solved());
     let winner = &threads.reports[threads.winner.unwrap()];
-    let mut checker = CostasArray::new(10);
-    assert!(Evaluator::verify(&mut checker, &winner.outcome.solution));
+    let checker = CostasArray::new(10);
+    assert!(Evaluator::verify(&checker, &winner.outcome.solution));
 
     let rayon = run_rayon(&|| CostasArray::new(10), &config);
     assert!(rayon.solved());
@@ -89,8 +89,8 @@ fn dependent_walks_solve_the_cap_and_report_cooperation() {
     let result = run_dependent(&|| CostasArray::new(10), &config);
     assert!(result.solved, "dependent walks failed: {result:?}");
     assert_eq!(result.best_cost, 0);
-    let mut checker = CostasArray::new(10);
-    assert!(Evaluator::verify(&mut checker, &result.solution));
+    let checker = CostasArray::new(10);
+    assert!(Evaluator::verify(&checker, &result.solution));
     assert!(result.stats.iterations > 0);
 }
 

@@ -26,7 +26,12 @@ fn every_registry_benchmark_solves_and_verifies() {
     ];
     for benchmark in benchmarks {
         let (problem, outcome) = solve(&benchmark, 7);
-        assert!(outcome.solved(), "{} did not solve: {:?}", benchmark.id(), outcome.reason);
+        assert!(
+            outcome.solved(),
+            "{} did not solve: {:?}",
+            benchmark.id(),
+            outcome.reason
+        );
         assert_eq!(outcome.best_cost, 0, "{}", benchmark.id());
         assert!(
             problem.verify(&outcome.solution),

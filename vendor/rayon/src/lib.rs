@@ -1,0 +1,207 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small slice of rayon's API the workspace uses —
+//! `into_par_iter().map(..).collect()` and
+//! `par_iter_mut().enumerate().for_each(..)` — on top of
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core, so the combinators are genuinely parallel and preserve
+//! item order, but there is no work stealing: workloads with very uneven
+//! per-item cost will balance worse than under real rayon.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// The rayon-compatible trait imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads for a job of `n` items.
+fn workers_for(n: usize) -> usize {
+    thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Splits `items` into at most `workers_for(len)` contiguous chunks.
+fn chunked<T>(mut items: Vec<T>) -> Vec<Vec<T>> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk_size = n.div_ceil(workers_for(n));
+    let mut chunks = Vec::new();
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_size.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    chunks
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's entry point.
+pub trait IntoParallelIterator: Sized {
+    /// The element type.
+    type Item;
+    /// Collects the source eagerly and exposes parallel combinators.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` (applied in parallel at `collect` time).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.map(f).collect::<()>()
+    }
+}
+
+/// A pending parallel map; consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Applies the map across all cores and gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        let chunks = chunked(self.items);
+        let mapped: Vec<Vec<R>> = thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect()
+        });
+        mapped.into_iter().flatten().collect()
+    }
+}
+
+/// `par_iter_mut` over slices (and `Vec` via deref).
+pub trait ParallelSliceMut<T: Send> {
+    /// Exposes the slice as a mutable parallel iterator.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// A mutable parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParEnumerateMut<'a, T> {
+        ParEnumerateMut { slice: self.slice }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        self.enumerate().for_each(|(_, item)| f(item));
+    }
+}
+
+/// An enumerated mutable parallel iterator over a slice.
+pub struct ParEnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParEnumerateMut<'_, T> {
+    /// Runs `f` on every `(index, &mut element)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let n = self.slice.len();
+        if n == 0 {
+            return;
+        }
+        let chunk_size = n.div_ceil(workers_for(n));
+        let f = &f;
+        thread::scope(|s| {
+            for (chunk_index, chunk) in self.slice.chunks_mut(chunk_size).enumerate() {
+                s.spawn(move || {
+                    for (offset, item) in chunk.iter_mut().enumerate() {
+                        f((chunk_index * chunk_size + offset, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let doubled: Vec<usize> = (0..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn enumerate_for_each_sees_every_index_once() {
+        let mut slots = vec![0u32; 257];
+        slots.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            *slot = i as u32 + 1;
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, i as u32 + 1);
+        }
+    }
+}

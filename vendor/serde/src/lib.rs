@@ -1,0 +1,647 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! miniature serde: `Serialize` writes JSON directly into a `String`, and
+//! `Deserialize` reads from a parsed [`__private::Value`] tree. The derive
+//! macros live in the sibling `serde_derive` stand-in and the
+//! `to_string`/`from_str` entry points in the `serde_json` stand-in, so the
+//! workspace source compiles unchanged against either this shim or the real
+//! crates. Only the JSON data format is supported, which is all the
+//! workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::time::Duration;
+
+/// A value that can write itself as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// A value that can be reconstructed from a parsed JSON tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a parsed JSON value.
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError>;
+
+    /// Fallback when an object field is absent. Overridden by `Option<T>` so
+    /// missing optional fields read back as `None`, as with real serde.
+    #[doc(hidden)]
+    fn missing_field(name: &str) -> Result<Self, __private::DeError> {
+        Err(__private::DeError::new(format!("missing field `{name}`")))
+    }
+}
+
+/// Support machinery used by the generated derive code and by `serde_json`.
+/// Not part of the public API surface the workspace programs against.
+pub mod __private {
+    use super::Deserialize;
+    use std::fmt;
+
+    /// A parsed JSON value. Numbers keep their source text so that 64-bit
+    /// integers round-trip without passing through `f64`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number, kept as its literal text.
+        Num(String),
+        /// A JSON string (unescaped).
+        Str(String),
+        /// A JSON array.
+        Arr(Vec<Value>),
+        /// A JSON object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a JSON string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is a JSON array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The key/value pairs, if this is a JSON object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        /// Looks up a key in a JSON object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()
+                .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        }
+
+        /// For externally tagged enums: the single `{tag: payload}` entry.
+        pub fn single_entry(&self) -> Option<(&str, &Value)> {
+            match self.as_object() {
+                Some([(k, v)]) => Some((k.as_str(), v)),
+                _ => None,
+            }
+        }
+
+        fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "boolean",
+                Value::Num(_) => "number",
+                Value::Str(_) => "string",
+                Value::Arr(_) => "array",
+                Value::Obj(_) => "object",
+            }
+        }
+    }
+
+    /// Deserialization error.
+    #[derive(Debug, Clone)]
+    pub struct DeError(String);
+
+    impl DeError {
+        /// An error with a verbatim message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+
+        /// "expected X, found Y"-style error.
+        pub fn expected(what: &str, found: &Value) -> Self {
+            DeError(format!("expected {what}, found {}", found.kind()))
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Reads field `name` out of the object `v`, deferring to
+    /// `Deserialize::missing_field` when absent.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v.get(name) {
+            Some(inner) => {
+                T::from_json_value(inner).map_err(|e| DeError(format!("field `{name}`: {e}")))
+            }
+            None => T::missing_field(name),
+        }
+    }
+
+    /// Appends `s` as a JSON string literal (with escaping) to `out`.
+    pub fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(input: &str) -> Result<Value, DeError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(DeError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, byte: u8) -> Result<(), DeError> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(DeError::new(format!(
+                    "expected `{}` at byte {}",
+                    byte as char, self.pos
+                )))
+            }
+        }
+
+        fn eat_keyword(&mut self, kw: &str) -> Result<(), DeError> {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                Ok(())
+            } else {
+                Err(DeError::new(format!(
+                    "invalid literal at byte {}",
+                    self.pos
+                )))
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, DeError> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+                Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+                Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::Str),
+                Some(b'[') => self.parse_array(),
+                Some(b'{') => self.parse_object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+                _ => Err(DeError::new(format!(
+                    "unexpected character at byte {}",
+                    self.pos
+                ))),
+            }
+        }
+
+        fn parse_number(&mut self) -> Result<Value, DeError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+            if text.is_empty() || text == "-" {
+                return Err(DeError::new(format!("invalid number at byte {start}")));
+            }
+            Ok(Value::Num(text.to_string()))
+        }
+
+        fn parse_string(&mut self) -> Result<String, DeError> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(DeError::new("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                self.pos += 1;
+                                let first = self.parse_hex4()?;
+                                let code = if (0xD800..0xDC00).contains(&first)
+                                    && self.bytes[self.pos..].starts_with(b"\\u")
+                                {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    0x10000
+                                        + ((first - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF)
+                                } else {
+                                    first
+                                };
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                continue;
+                            }
+                            _ => return Err(DeError::new("invalid escape sequence")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character (the input is a &str,
+                        // so the bytes are valid UTF-8).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .expect("input was a valid &str");
+                        let c = rest.chars().next().expect("peeked a byte");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn parse_hex4(&mut self) -> Result<u32, DeError> {
+            if self.pos + 4 > self.bytes.len() {
+                return Err(DeError::new("truncated \\u escape"));
+            }
+            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                .map_err(|_| DeError::new("invalid \\u escape"))?;
+            let code =
+                u32::from_str_radix(hex, 16).map_err(|_| DeError::new("invalid \\u escape"))?;
+            self.pos += 4;
+            Ok(code)
+        }
+
+        fn parse_array(&mut self) -> Result<Value, DeError> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.parse_value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => {
+                        return Err(DeError::new(format!(
+                            "expected `,` or `]` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Value, DeError> {
+            self.eat(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                let value = self.parse_value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => {
+                        return Err(DeError::new(format!(
+                            "expected `,` or `}}` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+                match v {
+                    __private::Value::Num(text) => text.parse::<$t>().or_else(|_| {
+                        // Accept integral floats such as `1.0` or `1e3`.
+                        let f = text.parse::<f64>().map_err(|_| {
+                            __private::DeError::new(format!("invalid number `{text}`"))
+                        })?;
+                        if f.fract() == 0.0 && f >= <$t>::MIN as f64 && f <= <$t>::MAX as f64 {
+                            Ok(f as $t)
+                        } else {
+                            Err(__private::DeError::new(format!(
+                                "number `{text}` out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }),
+                    other => Err(__private::DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // Real serde_json also refuses to emit NaN/infinity.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+                match v {
+                    __private::Value::Num(text) => text.parse::<$t>().map_err(|_| {
+                        __private::DeError::new(format!("invalid number `{text}`"))
+                    }),
+                    __private::Value::Null => Ok(<$t>::NAN),
+                    other => Err(__private::DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        match v {
+            __private::Value::Bool(b) => Ok(*b),
+            other => Err(__private::DeError::expected("boolean", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        __private::write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        __private::write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        match v {
+            __private::Value::Str(s) => Ok(s.clone()),
+            other => Err(__private::DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        __private::write_escaped(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        match v {
+            __private::Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(__private::DeError::expected(
+                "single-character string",
+                other,
+            )),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(inner) => inner.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        match v {
+            __private::Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, __private::DeError> {
+        Ok(None)
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        match v.as_array() {
+            Some(items) => items.iter().map(T::from_json_value).collect(),
+            None => Err(__private::DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        let items: Vec<T> = Deserialize::from_json_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| __private::DeError::new(format!("expected {N} elements, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+) => $n:literal;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| __private::DeError::expected("array", v))?;
+                if arr.len() != $n {
+                    return Err(__private::DeError::new(format!(
+                        "expected {} elements, found {}",
+                        $n,
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::from_json_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0) => 1;
+    (A.0, B.1) => 2;
+    (A.0, B.1, C.2) => 3;
+    (A.0, B.1, C.2, D.3) => 4;
+}
+
+impl Serialize for Duration {
+    fn write_json(&self, out: &mut String) {
+        // Matches real serde's {secs, nanos} encoding of std::time::Duration.
+        out.push_str("{\"secs\":");
+        self.as_secs().write_json(out);
+        out.push_str(",\"nanos\":");
+        self.subsec_nanos().write_json(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_json_value(v: &__private::Value) -> Result<Self, __private::DeError> {
+        let secs: u64 = __private::field(v, "secs")?;
+        let nanos: u32 = __private::field(v, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a miniature serde implementation (see `vendor/serde`). This crate provides
+//! the `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for it. The
+//! derives cover exactly what the workspace needs: non-generic structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple or struct-like. The JSON shape matches real serde's externally
+//! tagged representation, so swapping the real crates back in later does not
+//! change any on-disk format.
+//!
+//! The macros parse the raw `TokenStream` by hand (no `syn`/`quote`, which
+//! are equally unavailable offline) and emit the impl by formatting Rust
+//! source and re-parsing it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` (direct-to-JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("mini serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` (from a parsed JSON value).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("mini serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(toks: &mut Tokens) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The attribute body: `[...]`.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // Optional restriction: `pub(crate)`, `pub(super)`, ...
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("mini serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("mini serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("mini serde_derive does not support generic types ({name})");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("mini serde_derive: unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("mini serde_derive: unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("mini serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `name: Type, ...` pairs, returning the field names. Types are
+/// skipped without interpretation; only top-level commas split fields, with
+/// `<`/`>` depth tracked because generic arguments are loose punctuation in a
+/// token stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("mini serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("mini serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        loop {
+            match toks.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated entries of a tuple-struct /
+/// tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut pending = false;
+    let mut depth = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if pending {
+                        fields += 1;
+                        pending = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("mini serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match toks.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match toks.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        loop {
+            match toks.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// Renders `s` as a Rust string literal.
+fn lit(s: &str) -> String {
+    format!("\"{}\"", s.escape_default())
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "out.push_str(\"null\");".to_string(),
+        Kind::Tuple(1) => "::serde::Serialize::write_json(&self.0, out);".to_string(),
+        Kind::Tuple(n) => {
+            let mut b = String::from("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!("::serde::Serialize::write_json(&self.{i}, out);"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Kind::Named(fields) => named_fields_serialize(fields, "self."),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => out.push_str({}),",
+                            lit(&format!("\"{vname}\""))
+                        ));
+                    }
+                    VariantFields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(f0) => {{ out.push_str({}); \
+                             ::serde::Serialize::write_json(f0, out); out.push('}}'); }},",
+                            lit(&format!("{{\"{vname}\":"))
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut inner =
+                            format!("out.push_str({});", lit(&format!("{{\"{vname}\":[")));
+                        for (i, b) in binders.iter().enumerate() {
+                            if i > 0 {
+                                inner.push_str("out.push(',');");
+                            }
+                            inner.push_str(&format!("::serde::Serialize::write_json({b}, out);"));
+                        }
+                        inner.push_str("out.push_str(\"]}\");");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ {inner} }},",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner =
+                            format!("out.push_str({});", lit(&format!("{{\"{vname}\":")));
+                        inner.push_str(&named_fields_serialize(fields, ""));
+                        inner.push_str("out.push('}');");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {inner} }},",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String) {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emits the `{{"a":...,"b":...}}` writer for named fields. `access` prefixes
+/// each field (`self.` for structs, empty for match binders).
+fn named_fields_serialize(fields: &[String], access: &str) -> String {
+    let mut b = String::from("out.push('{');");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            b.push_str("out.push(',');");
+        }
+        b.push_str(&format!("out.push_str({});", lit(&format!("\"{f}\":"))));
+        b.push_str(&format!(
+            "::serde::Serialize::write_json(&{access}{f}, out);"
+        ));
+    }
+    b.push_str("out.push('}');");
+    b
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => format!("let _ = v; Ok({name})"),
+        Kind::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let mut b = format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::__private::DeError::expected({}, v))?;\n\
+                 if arr.len() != {n} {{ return Err(::serde::__private::DeError::expected({}, v)); }}\n",
+                lit(&format!("array for tuple struct {name}")),
+                lit(&format!("{n} elements for tuple struct {name}")),
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                .collect();
+            b.push_str(&format!("Ok({name}({}))", inits.join(", ")));
+            b
+        }
+        Kind::Named(fields) => {
+            let mut b = format!(
+                "if v.as_object().is_none() {{ return Err(::serde::__private::DeError::expected({}, v)); }}\n",
+                lit(&format!("object for struct {name}")),
+            );
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(v, {})?", lit(f)))
+                .collect();
+            b.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+            b
+        }
+        Kind::Enum(variants) => {
+            let expected = lit(&format!("variant of {name}"));
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let key = lit(vname);
+                match &v.fields {
+                    VariantFields::Unit => {
+                        str_arms.push_str(&format!("{key} => Ok({name}::{vname}),"));
+                        obj_arms.push_str(&format!("{key} => Ok({name}::{vname}),"));
+                    }
+                    VariantFields::Tuple(1) => {
+                        obj_arms.push_str(&format!(
+                            "{key} => Ok({name}::{vname}(::serde::Deserialize::from_json_value(val)?)),"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "{key} => {{ let arr = val.as_array()\
+                             .ok_or_else(|| ::serde::__private::DeError::expected({expected}, v))?; \
+                             if arr.len() != {n} {{ return Err(::serde::__private::DeError::expected({expected}, v)); }} \
+                             Ok({name}::{vname}({})) }},",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__private::field(val, {})?", lit(f)))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "{key} => {{ if val.as_object().is_none() {{ \
+                             return Err(::serde::__private::DeError::expected({expected}, v)); }} \
+                             Ok({name}::{vname} {{ {} }}) }},",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     return match s {{ {str_arms} _ => Err(::serde::__private::DeError::expected({expected}, v)) }};\n\
+                 }}\n\
+                 if let Some((k, val)) = v.single_entry() {{\n\
+                     let _ = val;\n\
+                     return match k {{ {obj_arms} _ => Err(::serde::__private::DeError::expected({expected}, v)) }};\n\
+                 }}\n\
+                 Err(::serde::__private::DeError::expected({expected}, v))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::__private::Value) \
+             -> ::std::result::Result<Self, ::serde::__private::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` shim.
+//!
+//! Provides the tiny surface the workspace uses: [`to_string`],
+//! [`to_string_pretty`] and [`from_str`], with a [`Error`] type that behaves
+//! like the real one for `unwrap()`/`?` purposes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::__private::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let parsed = serde::__private::parse(&compact).expect("serializer produced valid JSON");
+    let mut out = String::new();
+    pretty(&parsed, 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Obj(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                serde::__private::write_escaped(k, out);
+                out.push_str(": ");
+                pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        Value::Arr(_) => out.push_str("[]"),
+        Value::Obj(_) => out.push_str("{}"),
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(text) => out.push_str(text),
+        Value::Str(s) => serde::__private::write_escaped(s, out),
+    }
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = serde::__private::parse(s).map_err(|e| Error(e.to_string()))?;
+    T::from_json_value(&value).map_err(|e| Error(e.to_string()))
+}
