@@ -1,0 +1,37 @@
+//! `cargo bench` target for the portfolio subsystem: replays a heterogeneous
+//! restart-schedule portfolio (fixed / Luby / geometric) on the Costas Array
+//! Problem and reports the order-statistics *prediction* of the multi-walk
+//! speedup next to the *empirically observed* prefix-minimum speedup.
+//! `CBLS_CAP_ORDER` and `CBLS_WALKS` override the reduced defaults.
+
+use cbls_bench::experiment::ExperimentConfig;
+use cbls_bench::figures::portfolio_figure;
+use cbls_perfmodel::report::default_figure_dir;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let order = std::env::var("CBLS_CAP_ORDER")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(9);
+    let walks = std::env::var("CBLS_WALKS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32);
+    match portfolio_figure(order, walks, &config) {
+        Some((table, experiment)) => {
+            println!("{}", table.to_ascii());
+            println!(
+                "success rate: {:.2}; pooled CoV: {:.2} (≈1.0 ⇒ near-linear speedup regime)",
+                experiment.simulation.success_rate(),
+                experiment
+                    .simulation
+                    .iteration_distribution()
+                    .expect("solved walks exist")
+                    .coefficient_of_variation()
+            );
+            let _ = table.write_csv(default_figure_dir(), "portfolio_bench");
+        }
+        None => println!("CAP {order}: no walk solved the instance"),
+    }
+}

@@ -22,7 +22,8 @@
 use cbls_parallel::speedup::{mean_speedup_by_cores, SpeedupCurve};
 use cbls_perfmodel::report::{fmt_f64, Table};
 use cbls_perfmodel::{EmpiricalDistribution, Platform, SpeedupModel, SpeedupPrediction};
-use cbls_problems::Benchmark;
+use cbls_portfolio::{Portfolio, PortfolioMember, Schedule, SimulatedPortfolio, SpeedupComparison};
+use cbls_problems::{Benchmark, CostasArray};
 use cbls_propagation::{BacktrackingSolver, CostasConstraint};
 use std::time::Instant;
 
@@ -452,6 +453,87 @@ pub fn baseline_comparison_table(config: &ExperimentConfig, orders: &[usize]) ->
     table
 }
 
+/// The default heterogeneous strategy portfolio for the Costas Array
+/// Problem: the paper's fixed restart policy, a Luby schedule and a
+/// geometric schedule, all over the CAP-tuned engine parameters, cycled over
+/// `walks` walks.
+#[must_use]
+pub fn costas_portfolio(order: usize, walks: usize, master_seed: u64) -> Portfolio {
+    let tuned = Benchmark::CostasArray(order).tuned_config();
+    let slice = tuned.max_iterations_per_restart;
+    let prototypes = vec![
+        PortfolioMember::new("fixed", tuned.clone(), Schedule::of_config(&tuned)),
+        PortfolioMember::new("luby", tuned.clone(), Schedule::luby(slice / 8, 10_000)),
+        PortfolioMember::new("geometric", tuned, Schedule::geometric(slice / 8, 2.0, 40)),
+    ];
+    Portfolio::cycled(&prototypes, walks).with_master_seed(master_seed)
+}
+
+/// The result of one portfolio experiment on the Costas Array Problem.
+#[derive(Debug, Clone)]
+pub struct PortfolioExperiment {
+    /// The portfolio that was replayed.
+    pub portfolio: Portfolio,
+    /// The deterministic replay of every walk.
+    pub simulation: SimulatedPortfolio,
+    /// Predicted-vs-observed speedup, one row per walk count.
+    pub comparisons: Vec<SpeedupComparison>,
+}
+
+/// Predicted-vs-empirical portfolio speedup on the Costas Array Problem: a
+/// heterogeneous portfolio (fixed / Luby / geometric restarts over the
+/// CAP-tuned parameters) is replayed deterministically, its solved walks are
+/// pooled into an empirical distribution, and the order-statistics
+/// prediction `E[min of p draws]` is tabled against the observed prefix
+/// minimum for each walk count `p`.  Returns `None` when no walk solved the
+/// instance.
+#[must_use]
+pub fn portfolio_figure(
+    order: usize,
+    walks: usize,
+    config: &ExperimentConfig,
+) -> Option<(Table, PortfolioExperiment)> {
+    let portfolio = costas_portfolio(order, walks, config.master_seed);
+    let simulation = SimulatedPortfolio::replay_parallel(&|| CostasArray::new(order), &portfolio);
+    let walk_counts: Vec<usize> = (0..)
+        .map(|k| 1usize << k)
+        .take_while(|&p| p <= walks)
+        .collect();
+    let comparisons = simulation.predicted_vs_observed(&walk_counts)?;
+
+    let mut table = Table::new(
+        format!(
+            "CAP {order} portfolio (fixed/luby/geometric, {walks} walks): predicted vs empirical speedup"
+        ),
+        &[
+            "walks",
+            "predicted_iters",
+            "observed_iters",
+            "predicted_speedup",
+            "observed_speedup",
+        ],
+    );
+    for row in &comparisons {
+        table.push_row(vec![
+            row.walks.to_string(),
+            fmt_f64(row.predicted_iterations),
+            row.observed_iterations
+                .map_or_else(|| "-".to_string(), |i| i.to_string()),
+            fmt_f64(row.predicted_speedup),
+            row.observed_speedup
+                .map_or_else(|| "-".to_string(), fmt_f64),
+        ]);
+    }
+    Some((
+        table,
+        PortfolioExperiment {
+            portfolio,
+            simulation,
+            comparisons,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +588,29 @@ mod tests {
             cap_figure(9, &Platform::ha8000(), &cfg).expect("CAP 9 solves quickly");
         assert!((result.prediction.speedup_at(32).unwrap() - 1.0).abs() < 1e-9);
         assert!(result.prediction.speedup_at(128).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn portfolio_figure_compares_prediction_and_observation() {
+        let cfg = ExperimentConfig {
+            samples: 4,
+            master_seed: 13,
+            core_counts: vec![1, 4],
+        };
+        let (table, experiment) = portfolio_figure(8, 8, &cfg).expect("CAP 8 solves quickly");
+        assert_eq!(table.len(), 4); // walks = 1, 2, 4, 8
+        assert_eq!(experiment.portfolio.walks(), 8);
+        assert_eq!(experiment.comparisons.len(), 4);
+        // the replay pools at least one solved walk, so a distribution exists
+        assert!(experiment.simulation.iteration_distribution().is_some());
+        // three distinct strategies ran
+        let labels: std::collections::HashSet<&str> = experiment
+            .simulation
+            .runs()
+            .iter()
+            .map(|r| r.member_label.as_str())
+            .collect();
+        assert_eq!(labels.len(), 3);
     }
 
     #[test]

@@ -91,6 +91,19 @@ impl SearchConfig {
             .saturating_mul(u64::from(self.max_restarts) + 1)
     }
 
+    /// The iteration budget of the `restart`-th restart (0-based) under this
+    /// configuration's own fixed schedule: `max_iterations_per_restart` for
+    /// the first `max_restarts + 1` restarts, then `None` (stop).
+    ///
+    /// This is the default restart schedule of
+    /// [`AdaptiveSearch::solve`](crate::AdaptiveSearch::solve); external
+    /// schedules (Luby, geometric, ...) replace it through
+    /// [`AdaptiveSearch::solve_scheduled`](crate::AdaptiveSearch::solve_scheduled).
+    #[must_use]
+    pub fn restart_budget(&self, restart: u64) -> Option<u64> {
+        (restart <= u64::from(self.max_restarts)).then_some(self.max_iterations_per_restart)
+    }
+
     /// Validate parameter ranges, returning a description of the first
     /// offending field.
     pub fn validate(&self) -> Result<(), String> {
@@ -264,6 +277,20 @@ mod tests {
             .max_restarts(4)
             .build();
         assert_eq!(c.total_iteration_budget(), 50);
+    }
+
+    #[test]
+    fn restart_budget_matches_the_fixed_schedule() {
+        let c = SearchConfig::builder()
+            .max_iterations_per_restart(10)
+            .max_restarts(2)
+            .build();
+        assert_eq!(c.restart_budget(0), Some(10));
+        assert_eq!(c.restart_budget(2), Some(10));
+        assert_eq!(c.restart_budget(3), None);
+        // the schedule's total agrees with the closed-form budget
+        let total: u64 = (0..10).map_while(|r| c.restart_budget(r)).sum();
+        assert_eq!(total, c.total_iteration_budget());
     }
 
     #[test]

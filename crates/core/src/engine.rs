@@ -135,6 +135,56 @@ impl AdaptiveSearch {
         E: Evaluator + ?Sized,
         R: RandomSource + ?Sized,
     {
+        let cfg = self.config.clone();
+        self.solve_inner(eval, rng, stop, initial, |restart| {
+            cfg.restart_budget(restart)
+        })
+    }
+
+    /// Solve `eval` with the restart loop driven by an external budget
+    /// schedule instead of the configuration's fixed
+    /// `max_iterations_per_restart` / `max_restarts` pair.
+    ///
+    /// `budget_of(restart)` is called once per restart (0-based) and returns
+    /// the iteration budget of that restart, or `None` to end the run.  The
+    /// random stream is *not* re-seeded between restarts: successive restarts
+    /// consume the same stream, so a restart schedule changes only how the
+    /// iteration budget is sliced, never which random numbers are drawn for a
+    /// given amount of work.  This is the per-walk budget hook the portfolio
+    /// crate's `RestartSchedule` implementations (Luby, geometric, fixed)
+    /// plug into.
+    ///
+    /// The configuration's `max_iterations_per_restart` and `max_restarts`
+    /// are ignored; everything else (freeze duration, reset policy, plateau
+    /// handling, target cost, stop polling) applies unchanged.
+    pub fn solve_scheduled<E, R, S>(
+        &self,
+        eval: &mut E,
+        rng: &mut R,
+        stop: &StopControl,
+        budget_of: S,
+    ) -> SearchOutcome
+    where
+        E: Evaluator + ?Sized,
+        R: RandomSource + ?Sized,
+        S: FnMut(u64) -> Option<u64>,
+    {
+        self.solve_inner(eval, rng, stop, None, budget_of)
+    }
+
+    fn solve_inner<E, R, S>(
+        &self,
+        eval: &mut E,
+        rng: &mut R,
+        stop: &StopControl,
+        initial: Option<&[usize]>,
+        mut budget_of: S,
+    ) -> SearchOutcome
+    where
+        E: Evaluator + ?Sized,
+        R: RandomSource + ?Sized,
+        S: FnMut(u64) -> Option<u64>,
+    {
         let started = Instant::now();
         let cfg = &self.config;
         let n = eval.size();
@@ -177,7 +227,8 @@ impl AdaptiveSearch {
         // benchmark in the paper).
         let mut ties: Vec<usize> = Vec::with_capacity(n);
 
-        'restarts: for restart in 0..=u64::from(cfg.max_restarts) {
+        let mut restart: u64 = 0;
+        'restarts: while let Some(restart_budget) = budget_of(restart) {
             if restart > 0 {
                 stats.restarts += 1;
             }
@@ -185,6 +236,7 @@ impl AdaptiveSearch {
                 (0, Some(init)) => init.to_vec(),
                 _ => rng.permutation(n),
             };
+            restart += 1;
             let mut cost = eval.init(&perm);
             // marks[i] holds the first iteration index at which variable i is
             // free again; 0 means "never marked".
@@ -205,8 +257,8 @@ impl AdaptiveSearch {
                     reason = TerminationReason::Solved;
                     break 'restarts;
                 }
-                if iter_in_restart >= cfg.max_iterations_per_restart {
-                    // restart (or give up if this was the last one)
+                if iter_in_restart >= restart_budget {
+                    // restart (or give up if the schedule is exhausted)
                     break;
                 }
                 if stats.iterations % cfg.stop_check_interval == 0 && stop.should_stop() {
@@ -670,6 +722,82 @@ mod tests {
         let out = engine.solve_from(&mut p, &mut rng(77), &StopControl::new(), Some(&reversed));
         assert!(out.solved());
         assert!(out.stats.swaps > 0);
+    }
+
+    #[test]
+    fn scheduled_solve_with_the_default_schedule_matches_solve() {
+        // Driving the restart loop with the configuration's own budget
+        // schedule must reproduce solve() bit for bit (same random stream,
+        // same budget slicing).
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(40)
+            .max_restarts(5)
+            .build();
+        let engine = AdaptiveSearch::new(config.clone());
+        let mut p1 = SortPermutation::new(24);
+        let a = engine.solve(&mut p1, &mut rng(31));
+        let mut p2 = SortPermutation::new(24);
+        let b = engine.solve_scheduled(&mut p2, &mut rng(31), &StopControl::new(), |r| {
+            config.restart_budget(r)
+        });
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.reason, b.reason);
+    }
+
+    #[test]
+    fn scheduled_solve_honours_every_budget_slice() {
+        // An unsolvable landscape consumes each slice fully, so the total
+        // iteration count is exactly the sum of the schedule and the restart
+        // counter reflects the number of slices.
+        let engine = AdaptiveSearch::default();
+        let budgets = [7u64, 11, 13];
+        let mut p = Unsatisfiable { n: 8 };
+        let out = engine.solve_scheduled(&mut p, &mut rng(17), &StopControl::new(), |r| {
+            budgets.get(r as usize).copied()
+        });
+        assert!(!out.solved());
+        assert_eq!(out.reason, TerminationReason::IterationBudgetExhausted);
+        assert_eq!(out.stats.iterations, 7 + 11 + 13);
+        assert_eq!(out.stats.restarts, 2);
+    }
+
+    #[test]
+    fn scheduled_solve_with_an_empty_schedule_runs_nothing() {
+        let engine = AdaptiveSearch::default();
+        let mut p = Unsatisfiable { n: 6 };
+        let out = engine.solve_scheduled(&mut p, &mut rng(19), &StopControl::new(), |_| None);
+        assert!(!out.solved());
+        assert_eq!(out.stats.iterations, 0);
+        assert_eq!(out.stats.restarts, 0);
+    }
+
+    #[test]
+    fn scheduled_solve_does_not_reseed_between_restarts() {
+        // Two schedules that slice the same total budget differently must
+        // consume the same random stream: after an unsolved run, continuing
+        // the stream yields identical values.  (The permutation draws at each
+        // restart boundary differ in *when* they happen, so the trajectories
+        // differ — but each run is a pure function of the seed, which is what
+        // "no re-seeding" guarantees.)
+        use as_rng::RandomSource;
+        let engine = AdaptiveSearch::default();
+        let run = |budgets: &'static [u64], seed: u64| {
+            let mut r = rng(seed);
+            let mut p = Unsatisfiable { n: 8 };
+            let out = engine.solve_scheduled(&mut p, &mut r, &StopControl::new(), |i| {
+                budgets.get(i as usize).copied()
+            });
+            (out, r.next_u64())
+        };
+        let (a, next_a) = run(&[10, 10], 23);
+        let (b, next_b) = run(&[10, 10], 23);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            next_a, next_b,
+            "identical runs leave the stream in the same state"
+        );
     }
 
     #[test]

@@ -14,7 +14,14 @@
 //!   region and restarts the next segment from a *perturbed copy* of the
 //!   elite (the "interesting crossroad"), otherwise it continues from its own
 //!   best configuration;
-//! * the first walk to reach the target cost stops the whole run.
+//! * a run ends as soon as a segment produces a configuration at the target
+//!   cost (walks finish the segment they are in, so the extra work is bounded
+//!   by one segment per walk).
+//!
+//! Every walk reads the elite as it stood at the *start* of the segment and
+//! publications are merged in walk order once the segment is over, so the
+//! whole scheme is a deterministic function of `(master_seed, config)` — no
+//! matter how the segment's walks are scheduled onto threads.
 //!
 //! The paper warns that beating independent walks is hard because "the global
 //! cost of a configuration is not a reliable information"; the ablation bench
@@ -23,9 +30,9 @@
 
 use as_rng::RandomSource;
 use cbls_core::{
-    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchStats, StopControl, TerminationReason,
+    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, SearchStats, StopControl,
+    TerminationReason,
 };
-use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -130,9 +137,16 @@ struct WalkState {
     rng: as_rng::DefaultRng,
     best_cost: i64,
     best_perm: Option<Vec<usize>>,
+    /// Outcome of the segment that just ran, plus whether the walk adopted
+    /// the elite at its start; consumed by the sequential merge.
+    pending: Option<(SearchOutcome, bool)>,
 }
 
 /// Run the dependent multi-walk scheme.
+///
+/// The result is a deterministic function of `(factory, config)`: walks read
+/// the elite as of the segment start and publish through a sequential merge,
+/// so thread scheduling cannot influence any trajectory.
 ///
 /// # Panics
 ///
@@ -154,95 +168,93 @@ where
     let engine = AdaptiveSearch::new(segment_search);
     let target = config.search.target_cost;
 
-    let elite: Mutex<Option<Elite>> = Mutex::new(None);
-    let stop = StopControl::new();
-    let adoption_count = Mutex::new(0u64);
-    let total_stats = Mutex::new(SearchStats::default());
+    let mut elite: Option<Elite> = None;
+    let mut elite_adoptions = 0u64;
+    let mut total_stats = SearchStats::default();
 
     let mut states: Vec<WalkState> = (0..config.walks)
         .map(|w| WalkState {
             rng: seeds.rng_of(w),
             best_cost: i64::MAX,
             best_perm: None,
+            pending: None,
         })
         .collect();
 
     let mut segments_run = 0;
     for _segment in 0..config.max_segments {
         segments_run += 1;
-        states
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(walk_id, state)| {
-                if stop.should_stop() {
-                    return;
-                }
-                let mut evaluator = factory.build();
 
-                // Decide the starting configuration for this segment: the
-                // shared elite (perturbed) if our own best is clearly worse,
-                // otherwise our own best configuration, otherwise random.
-                let elite_snapshot = elite.lock().clone();
-                let initial: Option<Vec<usize>> = match (&elite_snapshot, &state.best_perm) {
-                    (Some(e), Some(own)) => {
-                        if (state.best_cost as f64) > config.elite_adoption_ratio * e.cost as f64 {
-                            *adoption_count.lock() += 1;
-                            Some(perturb(
-                                &e.perm,
-                                config.perturbation_fraction,
-                                &mut state.rng,
-                            ))
-                        } else {
-                            Some(own.clone())
-                        }
+        // The elite as every walk of this segment sees it: frozen at the
+        // segment start, so adoption decisions do not depend on how fast
+        // sibling walks happen to run.
+        let snapshot = elite.clone();
+        states.par_iter_mut().for_each(|state| {
+            let mut evaluator = factory.build();
+
+            // Decide the starting configuration for this segment: the shared
+            // elite (perturbed) if our own best is clearly worse, otherwise
+            // our own best configuration, otherwise random.
+            let (initial, adopted): (Option<Vec<usize>>, bool) = match (&snapshot, &state.best_perm)
+            {
+                (Some(e), Some(own)) => {
+                    if (state.best_cost as f64) > config.elite_adoption_ratio * e.cost as f64 {
+                        let perturbed =
+                            perturb(&e.perm, config.perturbation_fraction, &mut state.rng);
+                        (Some(perturbed), true)
+                    } else {
+                        (Some(own.clone()), false)
                     }
-                    (Some(e), None) => {
-                        *adoption_count.lock() += 1;
-                        Some(perturb(
-                            &e.perm,
-                            config.perturbation_fraction,
-                            &mut state.rng,
-                        ))
-                    }
-                    (None, Some(own)) => Some(own.clone()),
-                    (None, None) => None,
-                };
-
-                let outcome =
-                    engine.solve_from(&mut evaluator, &mut state.rng, &stop, initial.as_deref());
-                total_stats.lock().merge(&outcome.stats);
-
-                if outcome.best_cost < state.best_cost {
-                    state.best_cost = outcome.best_cost;
-                    state.best_perm = Some(outcome.solution.clone());
                 }
-
-                // Publish to the elite pool (minimal data transfer: one
-                // configuration).
-                let mut guard = elite.lock();
-                let better = guard.as_ref().is_none_or(|e| outcome.best_cost < e.cost);
-                if better {
-                    *guard = Some(Elite {
-                        cost: outcome.best_cost,
-                        perm: outcome.solution.clone(),
-                        found_by: walk_id,
-                    });
+                (Some(e), None) => {
+                    let perturbed = perturb(&e.perm, config.perturbation_fraction, &mut state.rng);
+                    (Some(perturbed), true)
                 }
-                drop(guard);
+                (None, Some(own)) => (Some(own.clone()), false),
+                (None, None) => (None, false),
+            };
 
-                if outcome.reason == TerminationReason::Solved && outcome.best_cost <= target {
-                    stop.request_stop();
-                }
-            });
+            let outcome = engine.solve_from(
+                &mut evaluator,
+                &mut state.rng,
+                &StopControl::new(),
+                initial.as_deref(),
+            );
 
-        if stop.should_stop() {
+            if outcome.best_cost < state.best_cost {
+                state.best_cost = outcome.best_cost;
+                state.best_perm = Some(outcome.solution.clone());
+            }
+            state.pending = Some((outcome, adopted));
+        });
+
+        // Sequential merge in walk order (publication to the elite pool —
+        // minimal data transfer: one configuration per walk per segment).
+        let mut solved_this_segment = false;
+        for (walk_id, state) in states.iter_mut().enumerate() {
+            let (outcome, adopted) = state.pending.take().expect("segment ran for every walk");
+            total_stats.merge(&outcome.stats);
+            if adopted {
+                elite_adoptions += 1;
+            }
+            if elite.as_ref().is_none_or(|e| outcome.best_cost < e.cost) {
+                elite = Some(Elite {
+                    cost: outcome.best_cost,
+                    perm: outcome.solution,
+                    found_by: walk_id,
+                });
+            }
+            solved_this_segment |=
+                outcome.reason == TerminationReason::Solved && outcome.best_cost <= target;
+        }
+
+        if solved_this_segment {
             break;
         }
     }
 
-    let best = elite.lock().clone();
-    let stats = total_stats.lock().clone();
-    let elite_adoptions = *adoption_count.lock();
+    let stats = total_stats;
+    let best = elite;
     match best {
         Some(e) => DependentWalkResult {
             solved: e.cost <= target,
@@ -337,16 +349,63 @@ mod tests {
 
     #[test]
     fn dependent_walks_are_deterministic() {
+        // Walks read the elite as of the segment start and publish through a
+        // sequential merge, so two runs with identical seeds must agree on
+        // *everything*, including the engine counters and the adoption count.
         let cfg = DependentWalkConfig::new(3)
             .with_master_seed(11)
             .with_segment_iterations(200)
             .with_max_segments(30);
         let a = run_dependent(&|| Sort(20), &cfg);
         let b = run_dependent(&|| Sort(20), &cfg);
-        // Elite-publication order can vary with the rayon schedule, so only
-        // the schedule-independent facts are compared.
         assert_eq!(a.solved, b.solved);
         assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.best_walk, b.best_walk);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.elite_adoptions, b.elite_adoptions);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_master_seeds_change_the_trajectory() {
+        let base = DependentWalkConfig::new(3)
+            .with_segment_iterations(200)
+            .with_max_segments(30);
+        let a = run_dependent(&|| Sort(20), &base.clone().with_master_seed(1));
+        let b = run_dependent(&|| Sort(20), &base.with_master_seed(2));
+        assert_ne!(
+            (a.stats.iterations, a.stats.swaps),
+            (b.stats.iterations, b.stats.swaps),
+            "different seeds should not replay the identical run"
+        );
+    }
+
+    #[test]
+    fn zero_segments_do_not_panic() {
+        // An exchange period of zero rounds means no walk ever runs: the run
+        // reports "unsolved, nothing found" instead of panicking.
+        let cfg = DependentWalkConfig::new(3).with_max_segments(0);
+        let result = run_dependent(&|| Sort(12), &cfg);
+        assert!(!result.solved);
+        assert_eq!(result.segments, 0);
+        assert_eq!(result.best_cost, i64::MAX);
+        assert!(result.solution.is_empty());
+        assert_eq!(result.stats.iterations, 0);
+    }
+
+    #[test]
+    fn single_walk_runs_do_not_panic() {
+        // With one walk there is never a sibling elite to adopt; the scheme
+        // degenerates to a plain segmented search and must still solve.
+        let cfg = DependentWalkConfig::new(1)
+            .with_master_seed(7)
+            .with_segment_iterations(500)
+            .with_max_segments(40);
+        let result = run_dependent(&|| Sort(16), &cfg);
+        assert!(result.solved);
+        assert_eq!(result.best_walk, 0);
+        assert_eq!(result.elite_adoptions, 0, "nothing to adopt with one walk");
     }
 
     #[test]

@@ -31,13 +31,20 @@ pub struct MultiWalkConfig {
 }
 
 impl MultiWalkConfig {
-    /// A configuration with the given number of walks, a fixed master seed
-    /// and the default engine parameters.
+    /// The master seed used when none is given: every multi-walk,
+    /// simulated-replay and portfolio run that does not override the seed
+    /// derives its per-walk streams from this value, so results are
+    /// comparable across entry points by default.
+    pub const DEFAULT_MASTER_SEED: u64 = 0xC0DE_CAFE;
+
+    /// A configuration with the given number of walks, the
+    /// [default master seed](Self::DEFAULT_MASTER_SEED) and the default
+    /// engine parameters.
     #[must_use]
     pub fn new(walks: usize) -> Self {
         Self {
             walks,
-            master_seed: 0xC0DE_CAFE,
+            master_seed: Self::DEFAULT_MASTER_SEED,
             search: SearchConfig::default(),
             timeout: None,
         }
@@ -372,5 +379,11 @@ mod tests {
     #[should_panic(expected = "at least one walk")]
     fn zero_walks_is_rejected() {
         let _ = run_threads(&|| Sort(4), &MultiWalkConfig::new(0));
+    }
+
+    #[test]
+    fn default_master_seed_is_used_by_new() {
+        let cfg = MultiWalkConfig::new(3);
+        assert_eq!(cfg.master_seed, MultiWalkConfig::DEFAULT_MASTER_SEED);
     }
 }

@@ -223,10 +223,129 @@ impl EmpiricalDistribution {
     }
 }
 
+/// An incremental collector of runtime observations.
+///
+/// [`EmpiricalDistribution`] is immutable (its samples are sorted once at
+/// construction), which is the right shape for analysis but not for *online*
+/// recording: a portfolio run observes one iterations-to-solution sample per
+/// solved walk, across many solve requests.  `DistributionAccumulator` is the
+/// mutable front half: push observations as they arrive, then snapshot an
+/// [`EmpiricalDistribution`] whenever the order-statistics machinery is
+/// needed.
+///
+/// ```
+/// use cbls_perfmodel::DistributionAccumulator;
+///
+/// let mut acc = DistributionAccumulator::new();
+/// acc.record_count(120);
+/// acc.record_count(80);
+/// assert_eq!(acc.len(), 2);
+/// let dist = acc.distribution().expect("two samples recorded");
+/// assert_eq!(dist.mean(), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistributionAccumulator {
+    samples: Vec<f64>,
+}
+
+impl DistributionAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one measurement (seconds, iterations, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or non-finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "samples must be finite and non-negative"
+        );
+        self.samples.push(value);
+    }
+
+    /// Record one iteration count.
+    pub fn record_count(&mut self, count: u64) {
+        self.samples.push(count as f64);
+    }
+
+    /// Fold another accumulator's observations into this one.
+    pub fn merge(&mut self, other: &DistributionAccumulator) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of observations recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw observations, in recording order.
+    #[must_use]
+    pub fn observations(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Snapshot the observations into an [`EmpiricalDistribution`] (`None`
+    /// while the accumulator is empty, since an empirical distribution needs
+    /// at least one sample).
+    #[must_use]
+    pub fn distribution(&self) -> Option<EmpiricalDistribution> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(EmpiricalDistribution::new(&self.samples))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use as_rng::{default_rng, exponential};
+
+    #[test]
+    fn accumulator_snapshots_match_direct_construction() {
+        let mut acc = DistributionAccumulator::new();
+        assert!(acc.is_empty());
+        assert!(acc.distribution().is_none());
+        for c in [4u64, 1, 3, 2] {
+            acc.record_count(c);
+        }
+        acc.record(2.5);
+        assert_eq!(acc.len(), 5);
+        let expected = EmpiricalDistribution::new(&[4.0, 1.0, 3.0, 2.0, 2.5]);
+        assert_eq!(acc.distribution().unwrap(), expected);
+        // recording order is preserved in the raw view
+        assert_eq!(acc.observations(), &[4.0, 1.0, 3.0, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn accumulator_merge_pools_observations() {
+        let mut a = DistributionAccumulator::new();
+        a.record_count(1);
+        let mut b = DistributionAccumulator::new();
+        b.record_count(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.distribution().unwrap().mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn accumulator_rejects_negative_observations() {
+        DistributionAccumulator::new().record(-1.0);
+    }
 
     #[test]
     fn basic_statistics() {

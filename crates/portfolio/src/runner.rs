@@ -1,0 +1,320 @@
+//! True parallel execution of a heterogeneous portfolio.
+//!
+//! [`run_portfolio_threads`] and [`run_portfolio_rayon`] mirror the flat
+//! multi-walk back-ends of `cbls-parallel` (`run_threads` / `run_rayon`):
+//! walks share nothing but a [`StopControl`] flag, the first walk to reach
+//! its target cost raises the flag, and every other walk stops at its next
+//! poll — first-finisher semantics preserved, strategies heterogeneous.
+
+use std::time::{Duration, Instant};
+
+use cbls_core::{AdaptiveSearch, EvaluatorFactory, SearchOutcome, StopControl};
+use cbls_perfmodel::DistributionAccumulator;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::portfolio::Portfolio;
+use crate::schedule::RestartSchedule;
+
+/// The outcome of one walk of a portfolio run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioWalkReport {
+    /// Walk index (`0..portfolio.walks()`).
+    pub walk_id: usize,
+    /// Label of the member the walk ran.
+    pub member_label: String,
+    /// The 64-bit seed the walk's stream was derived from.
+    pub seed: u64,
+    /// The walk's search outcome.
+    pub outcome: SearchOutcome,
+}
+
+/// The aggregate result of a portfolio run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioResult {
+    /// Index of the winning walk (solved with the smallest elapsed time).
+    pub winner: Option<usize>,
+    /// Per-walk reports, ordered by walk index.
+    pub reports: Vec<PortfolioWalkReport>,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+}
+
+impl PortfolioResult {
+    /// Whether any walk found a solution.
+    #[must_use]
+    pub fn solved(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// The winning walk's report, if any walk solved the problem.
+    #[must_use]
+    pub fn winning_report(&self) -> Option<&PortfolioWalkReport> {
+        self.winner.map(|w| &self.reports[w])
+    }
+
+    /// The winning walk's outcome, if any.
+    #[must_use]
+    pub fn winning_outcome(&self) -> Option<&SearchOutcome> {
+        self.winning_report().map(|r| &r.outcome)
+    }
+
+    /// Iterations performed by the winning walk, if solved.
+    #[must_use]
+    pub fn winning_iterations(&self) -> Option<u64> {
+        self.winning_outcome().map(|o| o.stats.iterations)
+    }
+
+    /// Total iterations across all walks (the run's total work).
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.outcome.stats.iterations)
+            .sum()
+    }
+
+    /// Record every solved walk's iterations-to-solution into `acc` (the
+    /// online distribution the order-statistics speedup predictor consumes).
+    pub fn record_iterations(&self, acc: &mut DistributionAccumulator) {
+        for report in &self.reports {
+            if report.outcome.solved() {
+                acc.record_count(report.outcome.stats.iterations);
+            }
+        }
+    }
+
+    /// Record every walk's restart count into `acc`.
+    pub fn record_restarts(&self, acc: &mut DistributionAccumulator) {
+        for report in &self.reports {
+            acc.record_count(report.outcome.stats.restarts);
+        }
+    }
+}
+
+pub(crate) fn resolve_winner(reports: &[PortfolioWalkReport]) -> Option<usize> {
+    // Same convention as the flat multi-walk runner: the "first finisher" is
+    // the solved walk with the smallest recorded elapsed time, which keeps
+    // the choice deterministic across schedulers.
+    reports
+        .iter()
+        .filter(|r| r.outcome.solved())
+        .min_by_key(|r| (r.outcome.elapsed, r.walk_id))
+        .map(|r| r.walk_id)
+}
+
+pub(crate) fn run_single_walk<F>(
+    factory: &F,
+    portfolio: &Portfolio,
+    stop: &StopControl,
+    walk_id: usize,
+) -> PortfolioWalkReport
+where
+    F: EvaluatorFactory,
+{
+    let member = portfolio.member_of(walk_id);
+    let engine = AdaptiveSearch::new(member.search.clone());
+    let seeds = portfolio.seeds();
+    let mut evaluator = factory.build();
+    let mut rng = seeds.rng_of(walk_id);
+    let outcome = engine.solve_scheduled(&mut evaluator, &mut rng, stop, |r| {
+        member.schedule.budget(r)
+    });
+    if outcome.solved() {
+        // Completion is the only message the walks ever exchange.
+        stop.request_stop();
+    }
+    PortfolioWalkReport {
+        walk_id,
+        member_label: member.label.clone(),
+        seed: seeds.seed_of(walk_id),
+        outcome,
+    }
+}
+
+fn stop_of(portfolio: &Portfolio) -> StopControl {
+    match portfolio.timeout() {
+        Some(t) => StopControl::with_timeout(t),
+        None => StopControl::new(),
+    }
+}
+
+/// Run the portfolio with one OS thread per walk.
+pub fn run_portfolio_threads<F>(factory: &F, portfolio: &Portfolio) -> PortfolioResult
+where
+    F: EvaluatorFactory,
+{
+    let started = Instant::now();
+    let stop = stop_of(portfolio);
+
+    let mut reports: Vec<PortfolioWalkReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..portfolio.walks())
+            .map(|walk_id| {
+                let stop = &stop;
+                scope.spawn(move || run_single_walk(factory, portfolio, stop, walk_id))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio walk thread panicked"))
+            .collect()
+    });
+    reports.sort_by_key(|r| r.walk_id);
+
+    PortfolioResult {
+        winner: resolve_winner(&reports),
+        reports,
+        wall_time: started.elapsed(),
+    }
+}
+
+/// Run the portfolio on the global rayon pool (for walk counts above the
+/// physical core count).
+pub fn run_portfolio_rayon<F>(factory: &F, portfolio: &Portfolio) -> PortfolioResult
+where
+    F: EvaluatorFactory,
+{
+    let started = Instant::now();
+    let stop = stop_of(portfolio);
+
+    let mut reports: Vec<PortfolioWalkReport> = (0..portfolio.walks())
+        .into_par_iter()
+        .map(|walk_id| run_single_walk(factory, portfolio, &stop, walk_id))
+        .collect();
+    reports.sort_by_key(|r| r.walk_id);
+
+    PortfolioResult {
+        winner: resolve_winner(&reports),
+        reports,
+        wall_time: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::PortfolioMember;
+    use crate::schedule::Schedule;
+    use cbls_core::{Evaluator, SearchConfig};
+
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+    }
+
+    #[derive(Clone)]
+    struct Hopeless(usize);
+    impl Evaluator for Hopeless {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost(&self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+            1
+        }
+    }
+
+    fn mixed_portfolio(walks: usize) -> Portfolio {
+        let search = SearchConfig::builder().stop_check_interval(4).build();
+        let protos = vec![
+            PortfolioMember::new("fixed", search.clone(), Schedule::fixed(10_000, 3)),
+            PortfolioMember::new("luby", search.clone(), Schedule::luby(2_000, 15)),
+            PortfolioMember::new("geom", search, Schedule::geometric(1_000, 2.0, 7)),
+        ];
+        Portfolio::cycled(&protos, walks).with_master_seed(42)
+    }
+
+    #[test]
+    fn threads_backend_solves_and_labels_every_walk() {
+        let portfolio = mixed_portfolio(4);
+        let result = run_portfolio_threads(&|| Sort(24), &portfolio);
+        assert!(result.solved());
+        assert_eq!(result.reports.len(), 4);
+        let winner = result.winner.unwrap();
+        assert!(result.reports[winner].outcome.solved());
+        for (i, r) in result.reports.iter().enumerate() {
+            assert_eq!(r.walk_id, i);
+            assert_eq!(r.member_label, portfolio.member_of(i).label);
+            assert_eq!(r.seed, portfolio.seeds().seed_of(i));
+        }
+        assert!(result.total_iterations() >= result.winning_iterations().unwrap());
+    }
+
+    #[test]
+    fn rayon_backend_matches_thread_backend_semantics() {
+        let portfolio = mixed_portfolio(3);
+        let a = run_portfolio_threads(&|| Sort(16), &portfolio);
+        let b = run_portfolio_rayon(&|| Sort(16), &portfolio);
+        assert!(a.solved() && b.solved());
+        assert_eq!(a.reports.len(), b.reports.len());
+        // walks are deterministic given (member, seed): walks that ran to
+        // completion in both backends agree exactly
+        for (ra, rb) in a.reports.iter().zip(b.reports.iter()) {
+            if ra.outcome.solved() && rb.outcome.solved() {
+                assert_eq!(ra.outcome.stats.iterations, rb.outcome.stats.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn unsolvable_portfolio_reports_no_winner_and_respects_budgets() {
+        let search = SearchConfig::default();
+        let protos = vec![
+            PortfolioMember::new("short", search.clone(), Schedule::fixed(100, 1)),
+            PortfolioMember::new("luby", search, Schedule::luby(50, 5)),
+        ];
+        let portfolio = Portfolio::cycled(&protos, 2).with_master_seed(7);
+        let result = run_portfolio_threads(&|| Hopeless(8), &portfolio);
+        assert!(!result.solved());
+        assert!(result.winning_report().is_none());
+        // each walk consumed exactly its schedule's total budget
+        assert_eq!(result.reports[0].outcome.stats.iterations, 200);
+        assert_eq!(
+            result.reports[1].outcome.stats.iterations,
+            Schedule::luby(50, 5).total_budget()
+        );
+    }
+
+    #[test]
+    fn timeout_stops_hopeless_runs() {
+        let search = SearchConfig::builder().stop_check_interval(1).build();
+        let member = PortfolioMember::new("long", search, Schedule::fixed(u64::MAX / 8, 0));
+        let portfolio = Portfolio::cycled(std::slice::from_ref(&member), 2)
+            .with_timeout(Duration::from_millis(50));
+        let started = Instant::now();
+        let result = run_portfolio_threads(&|| Hopeless(8), &portfolio);
+        assert!(!result.solved());
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn recorded_distributions_cover_solved_walks() {
+        let portfolio = mixed_portfolio(4);
+        let result = run_portfolio_rayon(&|| Sort(20), &portfolio);
+        let mut iters = DistributionAccumulator::new();
+        let mut restarts = DistributionAccumulator::new();
+        result.record_iterations(&mut iters);
+        result.record_restarts(&mut restarts);
+        let solved = result.reports.iter().filter(|r| r.outcome.solved()).count();
+        assert_eq!(iters.len(), solved);
+        assert_eq!(restarts.len(), 4);
+        assert!(iters.distribution().is_some());
+    }
+}

@@ -1,0 +1,358 @@
+//! Deterministic sequential replay of a portfolio run, plus the
+//! predicted-vs-observed speedup pipeline.
+//!
+//! Like `SimulatedMultiWalk` in `cbls-parallel`, the replay runs every walk
+//! to completion (no walk is interrupted by a sibling's success), so one
+//! replay answers "what would a `p`-walk run have cost?" for every prefix
+//! `p ≤ walks`.  On top of that, the replay pools the solved walks'
+//! iteration counts into an [`EmpiricalDistribution`] and compares the
+//! order-statistics *prediction* (`E[min of p draws]` from `cbls-perfmodel`)
+//! with the *observed* prefix minimum — the paper's speedup analysis run
+//! against empirical rather than fitted distributions.
+
+use cbls_core::{AdaptiveSearch, EvaluatorFactory, StopControl};
+use cbls_perfmodel::{DistributionAccumulator, EmpiricalDistribution};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::portfolio::Portfolio;
+use crate::runner::PortfolioWalkReport;
+use crate::schedule::RestartSchedule;
+
+/// A deterministic replay of every walk of a portfolio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulatedPortfolio {
+    master_seed: u64,
+    runs: Vec<PortfolioWalkReport>,
+}
+
+/// One point of a predicted-vs-observed speedup comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupComparison {
+    /// Number of walks (the paper's core count).
+    pub walks: usize,
+    /// Expected iterations of the winning walk under the order-statistics
+    /// model (`E[min of p draws]` from the pooled empirical distribution).
+    pub predicted_iterations: f64,
+    /// Iterations of the actual winning walk among the first `walks` walks
+    /// (`None` if none of them solved the problem).
+    pub observed_iterations: Option<u64>,
+    /// Predicted speedup over the mean sequential run.
+    pub predicted_speedup: f64,
+    /// Observed speedup over the mean sequential run, if observed.
+    pub observed_speedup: Option<f64>,
+}
+
+impl SimulatedPortfolio {
+    /// Replay every walk sequentially (deterministic, single-threaded).
+    pub fn replay<F>(factory: &F, portfolio: &Portfolio) -> Self
+    where
+        F: EvaluatorFactory,
+    {
+        let runs = (0..portfolio.walks())
+            .map(|walk_id| Self::one_walk(factory, portfolio, walk_id))
+            .collect();
+        Self {
+            master_seed: portfolio.master_seed(),
+            runs,
+        }
+    }
+
+    /// Replay using the rayon pool to speed the replay itself up; the result
+    /// is identical to [`SimulatedPortfolio::replay`] because each walk's
+    /// trajectory depends only on `(member, master_seed, walk_id)`.
+    pub fn replay_parallel<F>(factory: &F, portfolio: &Portfolio) -> Self
+    where
+        F: EvaluatorFactory,
+    {
+        let runs: Vec<PortfolioWalkReport> = (0..portfolio.walks())
+            .into_par_iter()
+            .map(|walk_id| Self::one_walk(factory, portfolio, walk_id))
+            .collect();
+        Self {
+            master_seed: portfolio.master_seed(),
+            runs,
+        }
+    }
+
+    fn one_walk<F>(factory: &F, portfolio: &Portfolio, walk_id: usize) -> PortfolioWalkReport
+    where
+        F: EvaluatorFactory,
+    {
+        let member = portfolio.member_of(walk_id);
+        let engine = AdaptiveSearch::new(member.search.clone());
+        let seeds = portfolio.seeds();
+        let mut evaluator = factory.build();
+        let mut rng = seeds.rng_of(walk_id);
+        let outcome = engine.solve_scheduled(&mut evaluator, &mut rng, &StopControl::new(), |r| {
+            member.schedule.budget(r)
+        });
+        PortfolioWalkReport {
+            walk_id,
+            member_label: member.label.clone(),
+            seed: seeds.seed_of(walk_id),
+            outcome,
+        }
+    }
+
+    /// The master seed of the replay.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Number of replayed walks.
+    #[must_use]
+    pub fn walks(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Per-walk replays, ordered by walk index.
+    #[must_use]
+    pub fn runs(&self) -> &[PortfolioWalkReport] {
+        &self.runs
+    }
+
+    /// Iterations-to-solution of every *solved* walk, in walk order.
+    #[must_use]
+    pub fn solved_iterations(&self) -> Vec<u64> {
+        self.runs
+            .iter()
+            .filter(|r| r.outcome.solved())
+            .map(|r| r.outcome.stats.iterations)
+            .collect()
+    }
+
+    /// Fraction of walks that solved the problem within their schedule.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().filter(|r| r.outcome.solved()).count() as f64 / self.runs.len() as f64
+    }
+
+    /// The iteration count a `p`-walk run would have needed: the minimum
+    /// iterations-to-solution among the first `p` walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    #[must_use]
+    pub fn parallel_iterations(&self, p: usize) -> Option<u64> {
+        assert!(p >= 1, "at least one walk is needed");
+        self.runs
+            .iter()
+            .take(p)
+            .filter(|r| r.outcome.solved())
+            .map(|r| r.outcome.stats.iterations)
+            .min()
+    }
+
+    /// Index of the walk that would win a `p`-walk run.
+    #[must_use]
+    pub fn winner(&self, p: usize) -> Option<usize> {
+        self.runs
+            .iter()
+            .take(p)
+            .filter(|r| r.outcome.solved())
+            .min_by_key(|r| (r.outcome.stats.iterations, r.walk_id))
+            .map(|r| r.walk_id)
+    }
+
+    /// Mean sequential iterations-to-solution over the solved walks.
+    #[must_use]
+    pub fn mean_sequential_iterations(&self) -> Option<f64> {
+        let solved = self.solved_iterations();
+        if solved.is_empty() {
+            None
+        } else {
+            Some(solved.iter().sum::<u64>() as f64 / solved.len() as f64)
+        }
+    }
+
+    /// Observed speedup of a `p`-walk run over the mean sequential run,
+    /// measured in iterations.
+    #[must_use]
+    pub fn speedup(&self, p: usize) -> Option<f64> {
+        let seq = self.mean_sequential_iterations()?;
+        let par = self.parallel_iterations(p)? as f64;
+        if par > 0.0 {
+            Some(seq / par)
+        } else {
+            Some(seq.max(1.0))
+        }
+    }
+
+    /// Record every solved walk's iterations into `acc` (online recording
+    /// across successive solve requests).
+    pub fn record_into(&self, acc: &mut DistributionAccumulator) {
+        for run in &self.runs {
+            if run.outcome.solved() {
+                acc.record_count(run.outcome.stats.iterations);
+            }
+        }
+    }
+
+    /// The pooled empirical distribution of iterations-to-solution over the
+    /// solved walks (`None` if no walk solved the problem).
+    #[must_use]
+    pub fn iteration_distribution(&self) -> Option<EmpiricalDistribution> {
+        let mut acc = DistributionAccumulator::new();
+        self.record_into(&mut acc);
+        acc.distribution()
+    }
+
+    /// Compare the order-statistics *prediction* of the `p`-walk iteration
+    /// count (from the pooled empirical distribution) with the *observed*
+    /// prefix minimum, for each requested walk count.
+    ///
+    /// Returns `None` if no walk solved the problem (there is no
+    /// distribution to predict from).
+    #[must_use]
+    pub fn predicted_vs_observed(&self, walk_counts: &[usize]) -> Option<Vec<SpeedupComparison>> {
+        let dist = self.iteration_distribution()?;
+        let mean = dist.mean();
+        Some(
+            walk_counts
+                .iter()
+                .map(|&p| {
+                    let predicted_iterations = dist.expected_min_of(p.max(1));
+                    let predicted_speedup = if predicted_iterations > 0.0 {
+                        mean / predicted_iterations
+                    } else {
+                        1.0
+                    };
+                    SpeedupComparison {
+                        walks: p,
+                        predicted_iterations,
+                        observed_iterations: self.parallel_iterations(p.max(1)),
+                        predicted_speedup,
+                        observed_speedup: self.speedup(p.max(1)),
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::PortfolioMember;
+    use crate::schedule::Schedule;
+    use cbls_core::{Evaluator, SearchConfig};
+
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+    }
+
+    fn mixed_portfolio(walks: usize, seed: u64) -> Portfolio {
+        let search = SearchConfig::default();
+        let protos = vec![
+            PortfolioMember::new("fixed", search.clone(), Schedule::fixed(10_000, 2)),
+            PortfolioMember::new("luby", search.clone(), Schedule::luby(1_000, 20)),
+            PortfolioMember::new("geom", search, Schedule::geometric(500, 2.0, 8)),
+        ];
+        Portfolio::cycled(&protos, walks).with_master_seed(seed)
+    }
+
+    #[test]
+    fn replay_is_bit_for_bit_deterministic() {
+        let portfolio = mixed_portfolio(6, 9);
+        let a = SimulatedPortfolio::replay(&|| Sort(20), &portfolio);
+        let b = SimulatedPortfolio::replay(&|| Sort(20), &portfolio);
+        assert_eq!(a.walks(), b.walks());
+        for (ra, rb) in a.runs().iter().zip(b.runs().iter()) {
+            assert_eq!(ra.seed, rb.seed);
+            assert_eq!(ra.member_label, rb.member_label);
+            assert_eq!(ra.outcome.stats, rb.outcome.stats);
+            assert_eq!(ra.outcome.solution, rb.outcome.solution);
+            assert_eq!(ra.outcome.best_cost, rb.outcome.best_cost);
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_sequential_replay() {
+        let portfolio = mixed_portfolio(8, 11);
+        let a = SimulatedPortfolio::replay(&|| Sort(18), &portfolio);
+        let b = SimulatedPortfolio::replay_parallel(&|| Sort(18), &portfolio);
+        for (ra, rb) in a.runs().iter().zip(b.runs().iter()) {
+            assert_eq!(ra.walk_id, rb.walk_id);
+            assert_eq!(ra.outcome.stats, rb.outcome.stats);
+        }
+    }
+
+    #[test]
+    fn prefix_minimum_is_monotone() {
+        let sim = SimulatedPortfolio::replay(&|| Sort(24), &mixed_portfolio(12, 3));
+        assert!((sim.success_rate() - 1.0).abs() < 1e-12);
+        let mut last = u64::MAX;
+        for p in 1..=12 {
+            let it = sim.parallel_iterations(p).unwrap();
+            assert!(it <= last);
+            last = it;
+            let w = sim.winner(p).unwrap();
+            assert!(w < p);
+            assert_eq!(sim.runs()[w].outcome.stats.iterations, it);
+        }
+    }
+
+    #[test]
+    fn predicted_and_observed_speedups_are_comparable() {
+        let sim = SimulatedPortfolio::replay(&|| Sort(28), &mixed_portfolio(16, 5));
+        let table = sim.predicted_vs_observed(&[1, 2, 4, 8, 16]).unwrap();
+        assert_eq!(table.len(), 5);
+        for row in &table {
+            assert!(row.predicted_speedup >= 1.0 - 1e-9);
+            let observed = row.observed_speedup.unwrap();
+            assert!(observed > 0.0);
+            // prediction and observation use the same pooled distribution, so
+            // they cannot be wildly apart for the full prefix
+            assert!(row.predicted_iterations > 0.0);
+        }
+        // the prediction is monotone in the walk count
+        for w in table.windows(2) {
+            assert!(w[1].predicted_speedup >= w[0].predicted_speedup - 1e-9);
+        }
+        // at p = walks the observed minimum equals the distribution's minimum
+        let dist = sim.iteration_distribution().unwrap();
+        assert_eq!(
+            table.last().unwrap().observed_iterations.unwrap() as f64,
+            dist.min()
+        );
+    }
+
+    #[test]
+    fn record_into_accumulates_across_runs() {
+        let mut acc = DistributionAccumulator::new();
+        let a = SimulatedPortfolio::replay(&|| Sort(16), &mixed_portfolio(3, 1));
+        let b = SimulatedPortfolio::replay(&|| Sort(16), &mixed_portfolio(3, 2));
+        a.record_into(&mut acc);
+        b.record_into(&mut acc);
+        assert_eq!(
+            acc.len(),
+            a.solved_iterations().len() + b.solved_iterations().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_prefix_is_rejected() {
+        let sim = SimulatedPortfolio::replay(&|| Sort(8), &mixed_portfolio(2, 1));
+        let _ = sim.parallel_iterations(0);
+    }
+}

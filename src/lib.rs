@@ -28,6 +28,8 @@
 //! * [`core`] (`cbls-core`) — engine, configuration, statistics;
 //! * [`problems`] (`cbls-problems`) — benchmark models and the registry;
 //! * [`parallel`] (`cbls-parallel`) — multi-walk runners and speedup helpers;
+//! * [`portfolio`] (`cbls-portfolio`) — restart schedules, heterogeneous
+//!   strategy portfolios and the adaptive walk scheduler;
 //! * [`propagation`] (`cbls-propagation`) — the backtracking baseline;
 //! * [`perfmodel`] (`cbls-perfmodel`) — runtime distributions and platform
 //!   models;
@@ -40,6 +42,7 @@ pub use as_rng as rng;
 pub use cbls_core as core;
 pub use cbls_parallel as parallel;
 pub use cbls_perfmodel as perfmodel;
+pub use cbls_portfolio as portfolio;
 pub use cbls_problems as problems;
 pub use cbls_propagation as propagation;
 
@@ -54,7 +57,13 @@ pub mod prelude {
         dependent::{run_dependent, DependentWalkConfig},
         run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, SimulatedMultiWalk, WalkSeeds,
     };
-    pub use cbls_perfmodel::{EmpiricalDistribution, Platform, SpeedupModel};
+    pub use cbls_perfmodel::{
+        DistributionAccumulator, EmpiricalDistribution, Platform, SpeedupModel,
+    };
+    pub use cbls_portfolio::{
+        run_portfolio_rayon, run_portfolio_threads, AdaptiveScheduler, Portfolio, PortfolioMember,
+        PortfolioResult, RestartSchedule, Schedule, SimulatedPortfolio,
+    };
     pub use cbls_problems::{
         AllInterval, AlphaCipher, Benchmark, CostasArray, Langford, MagicSquare, NQueens,
         NumberPartitioning, PerfectSquare, SquarePackingInstance,

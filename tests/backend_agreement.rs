@@ -1,0 +1,77 @@
+//! Regression: the three multi-walk back-ends (`run_threads`, `run_rayon`,
+//! `SimulatedMultiWalk`) must agree on the winning walk's identity, seed and
+//! iteration count for a fixed `(master_seed, walks)` pair.
+//!
+//! The thread back-ends resolve their winner by wall-clock arrival, which is
+//! only comparable to the simulation's iteration-minimum when a unique walk
+//! can finish at all.  Each scenario therefore caps the iteration budget
+//! *between* the fastest walk's iterations-to-solution and the runner-up's
+//! (values established by a deterministic replay), so exactly one walk can
+//! solve and scheduling noise cannot change the winner.
+
+use parallel_cbls::prelude::*;
+
+fn assert_backends_agree(bench: &Benchmark, master_seed: u64, walks: usize, budget: u64) {
+    let mut search = bench.tuned_config();
+    search.max_restarts = 0;
+    search.max_iterations_per_restart = budget;
+    let factory = || bench.build();
+
+    let sim = SimulatedMultiWalk::replay(&factory, &search, master_seed, walks);
+    let solved = sim.solved_iterations().len();
+    assert_eq!(
+        solved,
+        1,
+        "{}: the scenario must isolate a unique winner, got {solved} solved walks",
+        bench.id()
+    );
+    let expect_winner = sim.winner(walks).expect("one walk solved");
+    let expect = &sim.runs()[expect_winner];
+
+    let config = MultiWalkConfig {
+        walks,
+        master_seed,
+        search,
+        timeout: None,
+    };
+    let backends = [
+        ("threads", run_threads(&factory, &config)),
+        ("rayon", run_rayon(&factory, &config)),
+    ];
+    for (label, result) in backends {
+        let winner = result
+            .winner
+            .unwrap_or_else(|| panic!("{}: {label} backend found no winner", bench.id()));
+        assert_eq!(
+            winner,
+            expect_winner,
+            "{}: {label} winner disagrees with the replay",
+            bench.id()
+        );
+        let report = &result.reports[winner];
+        assert_eq!(report.seed, expect.seed);
+        assert_eq!(report.seed, WalkSeeds::new(master_seed).seed_of(winner));
+        assert_eq!(
+            report.outcome.stats.iterations,
+            expect.outcome.stats.iterations,
+            "{}: {label} winner iteration count disagrees with the replay",
+            bench.id()
+        );
+        assert_eq!(report.outcome.solution, expect.outcome.solution);
+        assert_eq!(result.reports.len(), walks);
+    }
+}
+
+#[test]
+fn backends_agree_on_nqueens_32() {
+    // Replay of (seed 4, 4 walks, unlimited budget): walk 0 solves after 9
+    // iterations, the runner-up needs 14 — a budget of 11 isolates walk 0.
+    assert_backends_agree(&Benchmark::NQueens(32), 4, 4, 11);
+}
+
+#[test]
+fn backends_agree_on_costas_9() {
+    // Replay of (seed 7, 4 walks, unlimited budget): walk 0 solves after 5
+    // iterations, the runner-up needs 28 — a budget of 16 isolates walk 0.
+    assert_backends_agree(&Benchmark::CostasArray(9), 7, 4, 16);
+}
