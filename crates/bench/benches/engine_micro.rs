@@ -8,6 +8,16 @@ use as_rng::{default_rng, RandomSource};
 use cbls_core::{AdaptiveSearch, Evaluator};
 use cbls_problems::{AllInterval, CostasArray, MagicSquare, NQueens};
 
+/// One full swap-scan's worth of `cost_if_swap` probes for the worst case of
+/// the engine's selection phase: variable 0 against every other position.
+fn swap_scan<E: Evaluator>(problem: &E, perm: &[usize], cost: i64) -> i64 {
+    let mut acc = 0i64;
+    for j in 1..perm.len() {
+        acc += problem.cost_if_swap(perm, cost, 0, j);
+    }
+    acc
+}
+
 fn bench_cost_if_swap(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_if_swap");
     let mut rng = default_rng(1);
@@ -18,12 +28,32 @@ fn bench_cost_if_swap(c: &mut Criterion) {
     group.bench_function("magic-square-10", |b| {
         b.iter(|| black_box(magic.cost_if_swap(&perm, cost, 3, 97)))
     });
+    group.bench_function("magic-square-10-scan", |b| {
+        b.iter(|| black_box(swap_scan(&magic, &perm, cost)))
+    });
+
+    let mut costas = CostasArray::new(14);
+    let perm = rng.permutation(14);
+    let cost = costas.init(&perm);
+    group.bench_function("costas-14", |b| {
+        b.iter(|| black_box(costas.cost_if_swap(&perm, cost, 2, 11)))
+    });
+    group.bench_function("costas-14-scan", |b| {
+        b.iter(|| black_box(swap_scan(&costas, &perm, cost)))
+    });
 
     let mut costas = CostasArray::new(18);
     let perm = rng.permutation(18);
     let cost = costas.init(&perm);
     group.bench_function("costas-18", |b| {
         b.iter(|| black_box(costas.cost_if_swap(&perm, cost, 2, 15)))
+    });
+
+    let mut interval = AllInterval::new(50);
+    let perm = rng.permutation(50);
+    let cost = interval.init(&perm);
+    group.bench_function("all-interval-50-scan", |b| {
+        b.iter(|| black_box(swap_scan(&interval, &perm, cost)))
     });
 
     let mut interval = AllInterval::new(100);
@@ -36,30 +66,80 @@ fn bench_cost_if_swap(c: &mut Criterion) {
 }
 
 fn bench_error_projection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_on_variable_full_scan");
+    // Per-variable rescans (what the engine did before the cached
+    // projection) next to the batched `project_errors_full` pass that now
+    // refreshes the cache, for the three instances the tentpole targets.
+    let mut group = c.benchmark_group("error_projection");
     let mut rng = default_rng(2);
 
-    let mut costas = CostasArray::new(18);
-    let perm = rng.permutation(18);
+    let mut costas = CostasArray::new(14);
+    let perm = rng.permutation(14);
     let _ = costas.init(&perm);
-    group.bench_function("costas-18", |b| {
+    let mut out = vec![0i64; 14];
+    group.bench_function("costas-14-per-variable", |b| {
         b.iter(|| {
             let mut acc = 0i64;
-            for i in 0..18 {
+            for i in 0..14 {
                 acc += costas.cost_on_variable(&perm, i);
             }
             black_box(acc)
+        })
+    });
+    group.bench_function("costas-14-batched", |b| {
+        b.iter(|| {
+            costas.project_errors_full(&perm, &mut out);
+            black_box(out[0])
         })
     });
 
     let mut magic = MagicSquare::new(10);
     let perm = rng.permutation(100);
     let _ = magic.init(&perm);
-    group.bench_function("magic-square-10", |b| {
+    let mut out = vec![0i64; 100];
+    group.bench_function("magic-square-10-per-variable", |b| {
         b.iter(|| {
             let mut acc = 0i64;
             for i in 0..100 {
                 acc += magic.cost_on_variable(&perm, i);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("magic-square-10-batched", |b| {
+        b.iter(|| {
+            magic.project_errors_full(&perm, &mut out);
+            black_box(out[0])
+        })
+    });
+
+    let mut interval = AllInterval::new(50);
+    let perm = rng.permutation(50);
+    let _ = interval.init(&perm);
+    let mut out = vec![0i64; 50];
+    group.bench_function("all-interval-50-per-variable", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..50 {
+                acc += interval.cost_on_variable(&perm, i);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("all-interval-50-batched", |b| {
+        b.iter(|| {
+            interval.project_errors_full(&perm, &mut out);
+            black_box(out[0])
+        })
+    });
+
+    let mut costas = CostasArray::new(18);
+    let perm = rng.permutation(18);
+    let _ = costas.init(&perm);
+    group.bench_function("costas-18-per-variable", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..18 {
+                acc += costas.cost_on_variable(&perm, i);
             }
             black_box(acc)
         })

@@ -1,0 +1,52 @@
+//! Engine iteration-throughput harness: measures iterations/sec of the
+//! sequential Adaptive Search inner loop on fixed seeds and writes
+//! `BENCH_engine.json`, recording the engine's performance trajectory.
+//!
+//! ```text
+//! cargo run --release -p cbls-bench --bin throughput            # full mode
+//! cargo run --release -p cbls-bench --bin throughput -- --quick # CI mode
+//! cargo run --release -p cbls-bench --bin throughput -- --out path.json
+//! ```
+
+use cbls_bench::throughput::{run_report, ThroughputConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let (config, mode) = if quick {
+        (ThroughputConfig::quick(), "quick")
+    } else {
+        (ThroughputConfig::full(), "full")
+    };
+
+    let report = run_report(&config, mode);
+    for result in &report.results {
+        let speedup = report
+            .speedup_vs_reference
+            .iter()
+            .find(|e| e.id == result.id)
+            .map_or_else(String::new, |e| {
+                format!("  ({:.2}x vs reference)", e.iters_per_sec)
+            });
+        println!(
+            "{:<24} {:>12.0} iters/sec{}",
+            result.id, result.iters_per_sec, speedup
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match std::fs::write(&out, json + "\n") {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

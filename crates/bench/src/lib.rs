@@ -14,6 +14,7 @@
 //! | headline claim (≈30/40/50+ at 64/128/256)| `summary_table`   | — |
 //! | CAP sequential hardness ("n=22 ≈ hours") | `cap_scaling`     | — |
 //! | intro claim vs propagation-based solvers | `baseline_compare`| `baseline` |
+//! | engine iteration throughput trajectory   | `throughput`      | — |
 //! | engine micro-costs                       | —                 | `engine_micro` |
 //! | design-choice ablations                  | —                 | `ablation` |
 
@@ -22,5 +23,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod throughput;
 
 pub use experiment::{ExperimentConfig, SequentialSample};
+pub use throughput::{EngineThroughputReport, ThroughputConfig};

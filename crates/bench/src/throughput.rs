@@ -1,0 +1,272 @@
+//! Engine iteration-throughput measurements (`BENCH_engine.json`).
+//!
+//! The paper's headline results rest on how fast the *sequential* inner loop
+//! of Adaptive Search runs — every multi-walk, portfolio and platform-model
+//! figure multiplies through it.  This module measures steady-state
+//! iterations per second on fixed seeds and a fixed iteration budget (the
+//! target cost is set below zero so the run never terminates early), and
+//! emits a JSON report that records the engine's performance trajectory
+//! across PRs.
+//!
+//! Run `cargo run --release -p cbls-bench --bin throughput` for the full
+//! measurement, or pass `--quick` for the reduced CI mode.
+
+use std::time::Instant;
+
+use as_rng::default_rng;
+use cbls_core::{AdaptiveSearch, StopControl};
+use cbls_problems::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Seed shared by all throughput runs (arbitrary but fixed: the measurement
+/// must be reproducible run-to-run).
+pub const THROUGHPUT_SEED: u64 = 2012;
+
+/// Measurement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputConfig {
+    /// Iterations each measured run performs.
+    pub budget: u64,
+    /// Independent repetitions; the best (highest iterations/sec) is kept to
+    /// suppress scheduler noise.
+    pub repetitions: u32,
+}
+
+impl ThroughputConfig {
+    /// The full measurement used to record `BENCH_engine.json` in the repo.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            budget: 200_000,
+            repetitions: 5,
+        }
+    }
+
+    /// The reduced mode CI runs on every PR (small budget, fewer reps).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            budget: 20_000,
+            repetitions: 3,
+        }
+    }
+}
+
+/// Iterations/sec of one benchmark under the measurement protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    /// Benchmark id (see [`Benchmark::id`]).
+    pub id: String,
+    /// Number of decision variables.
+    pub variables: usize,
+    /// Iterations performed per repetition.
+    pub iterations: u64,
+    /// Wall-clock seconds of the best repetition.
+    pub best_elapsed_secs: f64,
+    /// Iterations per second of the best repetition.
+    pub iters_per_sec: f64,
+}
+
+/// A reference measurement recorded from an earlier engine revision, used to
+/// report speedups alongside fresh numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceEntry {
+    /// Benchmark id the entry refers to.
+    pub id: String,
+    /// Iterations per second of the reference engine.
+    pub iters_per_sec: f64,
+}
+
+/// The full report serialized to `BENCH_engine.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineThroughputReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Master seed of every measured run.
+    pub seed: u64,
+    /// Measurement parameters.
+    pub config: ThroughputConfig,
+    /// Fresh measurements, one per benchmark.
+    pub results: Vec<ThroughputResult>,
+    /// Reference numbers from the pre-incremental-projection engine
+    /// (captured on the same machine class the repo numbers come from).
+    pub reference: Vec<ReferenceEntry>,
+    /// `iters_per_sec / reference` per benchmark id, where a reference
+    /// exists.
+    pub speedup_vs_reference: Vec<ReferenceEntry>,
+}
+
+/// The benchmark set every throughput report measures: the paper's CAP
+/// headline instance plus a spread of the other catalog models.
+#[must_use]
+pub fn throughput_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::CostasArray(14),
+        Benchmark::MagicSquare(10),
+        Benchmark::AllInterval(50),
+        Benchmark::NQueens(64),
+        Benchmark::PerfectSquareOrder9,
+    ]
+}
+
+/// Iterations/sec of the engine that shipped before the incremental
+/// error-projection PR, measured with [`ThroughputConfig::full`] on the
+/// machine that recorded the repo's `BENCH_engine.json`.  Kept as data so
+/// every later report shows the trajectory against the same fixed point.
+#[must_use]
+pub fn pre_projection_reference() -> Vec<ReferenceEntry> {
+    [
+        ("costas-14", 94_096.0),
+        ("magic-square-10", 545_942.0),
+        ("all-interval-50", 161_616.0),
+        ("queens-64", 181_506.0),
+        ("perfect-square-order9", 50_771.0),
+    ]
+    .into_iter()
+    .map(|(id, iters_per_sec)| ReferenceEntry {
+        id: id.to_string(),
+        iters_per_sec,
+    })
+    .collect()
+}
+
+/// Measure one benchmark: run exactly `config.budget` iterations
+/// (`target_cost` below zero disables early termination) and keep the best
+/// repetition.
+#[must_use]
+pub fn measure(benchmark: &Benchmark, config: &ThroughputConfig) -> ThroughputResult {
+    let mut tuned = benchmark.tuned_config();
+    tuned.target_cost = -1;
+    let per_restart = tuned.max_iterations_per_restart;
+    let engine = AdaptiveSearch::new(tuned);
+    // The best (iterations, elapsed) pair is kept together: every repetition
+    // is a deterministic replay today, but selecting the pair (rather than
+    // the minimum elapsed and the last iteration count separately) stays
+    // correct if repetitions ever stop being identical.
+    let mut best_elapsed = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..config.repetitions.max(1) {
+        let mut evaluator = benchmark.build();
+        let mut rng = default_rng(THROUGHPUT_SEED);
+        let mut remaining = config.budget;
+        let started = Instant::now();
+        let outcome = engine.solve_scheduled(
+            &mut evaluator,
+            &mut rng,
+            &StopControl::new(),
+            move |_restart| {
+                if remaining == 0 {
+                    None
+                } else {
+                    let slice = per_restart.min(remaining);
+                    remaining -= slice;
+                    Some(slice)
+                }
+            },
+        );
+        let elapsed = started.elapsed().as_secs_f64();
+        if outcome.stats.iterations as f64 / elapsed.max(f64::MIN_POSITIVE)
+            > iterations as f64 / best_elapsed.max(f64::MIN_POSITIVE)
+            || best_elapsed.is_infinite()
+        {
+            best_elapsed = elapsed;
+            iterations = outcome.stats.iterations;
+        }
+    }
+    let iters_per_sec = if best_elapsed > 0.0 {
+        iterations as f64 / best_elapsed
+    } else {
+        0.0
+    };
+    ThroughputResult {
+        id: benchmark.id(),
+        variables: benchmark.variables(),
+        iterations,
+        best_elapsed_secs: best_elapsed,
+        iters_per_sec,
+    }
+}
+
+/// Measure the whole suite and assemble the report.
+#[must_use]
+pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputReport {
+    let results: Vec<ThroughputResult> = throughput_suite()
+        .iter()
+        .map(|b| measure(b, config))
+        .collect();
+    let reference = pre_projection_reference();
+    let speedup_vs_reference = results
+        .iter()
+        .filter_map(|r| {
+            reference
+                .iter()
+                .find(|e| e.id == r.id)
+                .filter(|e| e.iters_per_sec > 0.0)
+                .map(|e| ReferenceEntry {
+                    id: r.id.clone(),
+                    iters_per_sec: r.iters_per_sec / e.iters_per_sec,
+                })
+        })
+        .collect();
+    EngineThroughputReport {
+        schema: "cbls-bench-engine/1".to_string(),
+        mode: mode.to_string(),
+        seed: THROUGHPUT_SEED,
+        config: *config,
+        results,
+        reference,
+        speedup_vs_reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_ids_are_unique_and_reference_covers_them() {
+        let suite = throughput_suite();
+        let ids: std::collections::HashSet<String> = suite.iter().map(Benchmark::id).collect();
+        assert_eq!(ids.len(), suite.len());
+        let reference = pre_projection_reference();
+        for b in &suite {
+            assert!(
+                reference.iter().any(|e| e.id == b.id()),
+                "no reference entry for {}",
+                b.id()
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_runs_the_exact_budget() {
+        let config = ThroughputConfig {
+            budget: 500,
+            repetitions: 1,
+        };
+        let result = measure(&Benchmark::NQueens(16), &config);
+        assert_eq!(result.iterations, 500);
+        assert!(result.iters_per_sec > 0.0);
+        assert_eq!(result.id, "queens-16");
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips() {
+        let config = ThroughputConfig {
+            budget: 200,
+            repetitions: 1,
+        };
+        let report = run_report(&config, "quick");
+        assert_eq!(report.results.len(), throughput_suite().len());
+        assert_eq!(
+            report.speedup_vs_reference.len(),
+            report.results.len(),
+            "every suite entry has a reference"
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        let back: EngineThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -227,6 +227,20 @@ impl AdaptiveSearch {
         // benchmark in the paper).
         let mut ties: Vec<usize> = Vec::with_capacity(n);
 
+        // Cached per-variable error projection, kept in sync with the current
+        // permutation: variables are re-projected only when a swap (or a
+        // reset) touches them, instead of calling `cost_on_variable` for
+        // every free variable on every iteration.  Iterations that end by
+        // marking a variable leave the permutation — and therefore the whole
+        // cache — untouched.  (Exhaustive mode never projects errors.)
+        let mut err_cache: Vec<i64> = vec![0; n];
+        let mut touched: Vec<usize> = Vec::with_capacity(n);
+
+        // Countdown to the next stop-flag poll: one subtraction per iteration
+        // instead of a modulo on the hot path.  Starts at zero so the first
+        // iteration polls, exactly like `iterations % interval == 0` did.
+        let mut until_stop_check: u64 = 0;
+
         let mut restart: u64 = 0;
         'restarts: while let Some(restart_budget) = budget_of(restart) {
             if restart > 0 {
@@ -238,6 +252,9 @@ impl AdaptiveSearch {
             };
             restart += 1;
             let mut cost = eval.init(&perm);
+            if !cfg.exhaustive {
+                eval.project_errors_full(&perm, &mut err_cache);
+            }
             // marks[i] holds the first iteration index at which variable i is
             // free again; 0 means "never marked".
             let mut marks: Vec<u64> = vec![0; n];
@@ -261,14 +278,18 @@ impl AdaptiveSearch {
                     // restart (or give up if the schedule is exhausted)
                     break;
                 }
-                if stats.iterations % cfg.stop_check_interval == 0 && stop.should_stop() {
-                    reason = if stop.stop_requested() {
-                        TerminationReason::ExternallyStopped
-                    } else {
-                        TerminationReason::TimedOut
-                    };
-                    break 'restarts;
+                if until_stop_check == 0 {
+                    until_stop_check = cfg.stop_check_interval;
+                    if stop.should_stop() {
+                        reason = if stop.stop_requested() {
+                            TerminationReason::ExternallyStopped
+                        } else {
+                            TerminationReason::TimedOut
+                        };
+                        break 'restarts;
+                    }
                 }
+                until_stop_check -= 1;
                 iter_in_restart += 1;
                 stats.iterations += 1;
 
@@ -301,13 +322,17 @@ impl AdaptiveSearch {
                     (a, b, best_cost)
                 } else {
                     // --- select the worst (highest error) non-frozen variable ---
+                    // Errors are read from the incrementally maintained cache;
+                    // the values are identical to fresh `cost_on_variable`
+                    // calls (the projection contract), so selection, tie
+                    // breaking and the RNG stream are unchanged.
                     let mut max_err = i64::MIN;
                     ties.clear();
                     for (i, &mark) in marks.iter().enumerate().take(n) {
                         if mark > now {
                             continue;
                         }
-                        let err = eval.cost_on_variable(&perm, i);
+                        let err = err_cache[i];
                         if err > max_err {
                             max_err = err;
                             ties.clear();
@@ -323,6 +348,7 @@ impl AdaptiveSearch {
                         stats.resets += 1;
                         Self::partial_reset(&mut perm, reset_count, rng);
                         cost = eval.init(&perm);
+                        eval.project_errors_full(&perm, &mut err_cache);
                         marks.iter_mut().for_each(|m| *m = 0);
                         marked_since_reset = 0;
                         continue;
@@ -384,6 +410,16 @@ impl AdaptiveSearch {
                 if accept {
                     perm.swap(move_i, move_j);
                     eval.executed_swap(&perm, move_i, move_j);
+                    if !cfg.exhaustive {
+                        Self::refresh_projection(
+                            eval,
+                            &perm,
+                            move_i,
+                            move_j,
+                            &mut touched,
+                            &mut err_cache,
+                        );
+                    }
                     cost = best_swap_cost;
                     stats.swaps += 1;
                     continue;
@@ -395,6 +431,16 @@ impl AdaptiveSearch {
                     // Force the (worsening) move to escape the minimum.
                     perm.swap(move_i, move_j);
                     eval.executed_swap(&perm, move_i, move_j);
+                    if !cfg.exhaustive {
+                        Self::refresh_projection(
+                            eval,
+                            &perm,
+                            move_i,
+                            move_j,
+                            &mut touched,
+                            &mut err_cache,
+                        );
+                    }
                     cost = best_swap_cost;
                     stats.swaps += 1;
                     stats.forced_moves += 1;
@@ -413,6 +459,9 @@ impl AdaptiveSearch {
                     stats.resets += 1;
                     Self::partial_reset(&mut perm, reset_count, rng);
                     cost = eval.init(&perm);
+                    if !cfg.exhaustive {
+                        eval.project_errors_full(&perm, &mut err_cache);
+                    }
                     marks.iter_mut().for_each(|m| *m = 0);
                     marked_since_reset = 0;
                 }
@@ -432,6 +481,25 @@ impl AdaptiveSearch {
             solution: best_perm,
             stats,
             elapsed: started.elapsed(),
+        }
+    }
+
+    /// Refresh the cached error projection after an executed swap of
+    /// `(i, j)`: re-project only the positions the evaluator reports touched,
+    /// or everything when it declines to track a dirty set.
+    fn refresh_projection<E: Evaluator + ?Sized>(
+        eval: &E,
+        perm: &[usize],
+        i: usize,
+        j: usize,
+        touched: &mut Vec<usize>,
+        err_cache: &mut [i64],
+    ) {
+        touched.clear();
+        if eval.touched_by_swap(perm, i, j, touched) {
+            eval.project_errors(perm, touched, err_cache);
+        } else {
+            eval.project_errors_full(perm, err_cache);
         }
     }
 

@@ -9,6 +9,33 @@
 
 use crate::config::SearchConfig;
 
+/// Which hot-path [`Evaluator`] methods an implementation provides
+/// incrementally, instead of inheriting the allocate-and-recompute defaults.
+///
+/// The engine never branches on this value — correctness comes from the
+/// method contracts alone.  It exists so that harnesses (and the
+/// `cbls-problems` consistency tests) can *assert* that a catalog problem
+/// does not silently fall back to a default probe path, which would be a
+/// silent O(n)→O(n²) performance regression rather than a bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalProfile {
+    /// `cost` recomputes from scratch with local scratch buffers instead of
+    /// cloning the whole evaluator.
+    pub scratch_cost: bool,
+    /// `cost_if_swap` evaluates the candidate in place (no `perm.to_vec()`
+    /// probe copy).
+    pub incremental_cost_if_swap: bool,
+    /// `executed_swap` updates incremental state in place instead of
+    /// rebuilding it with `init`.
+    pub incremental_executed_swap: bool,
+    /// `touched_by_swap` reports a precise dirty set (returns `true`), so the
+    /// engine re-projects only the variables a swap actually touched.
+    pub tracked_dirty_sets: bool,
+    /// `project_errors_full` is a batched single pass over the constraint
+    /// state rather than `size()` independent `cost_on_variable` calls.
+    pub batched_projection: bool,
+}
+
 /// A permutation-structured constraint problem evaluated by Adaptive Search.
 ///
 /// The decision variables are the positions `0..size()`, the candidate
@@ -69,6 +96,58 @@ pub trait Evaluator: Send {
         let _ = self.init(perm);
     }
 
+    /// Append to `out` every position whose
+    /// [`cost_on_variable`](Evaluator::cost_on_variable) value may have
+    /// changed because of the swap of `i` and `j`, and return `true`; or
+    /// return `false` to declare *every* variable dirty (the contents of
+    /// `out` are then ignored).
+    ///
+    /// # Contract
+    ///
+    /// * Called with the **post-swap** permutation, immediately after
+    ///   [`executed_swap`](Evaluator::executed_swap) for the same `(i, j)`.
+    /// * When returning `true`, `out` must be a *superset* of the positions
+    ///   whose projected error changed; duplicates are allowed and positions
+    ///   whose error happens to be unchanged are harmless.
+    /// * The default conservatively reports everything dirty, which is always
+    ///   sound.
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        let _ = (perm, i, j, out);
+        false
+    }
+
+    /// Batched error projection: set `out[k] = cost_on_variable(perm, k)` for
+    /// each `k` in `indices` (duplicates allowed; other entries of `out` are
+    /// left untouched).
+    ///
+    /// The engine uses this to refresh only the entries of its cached error
+    /// vector that [`touched_by_swap`](Evaluator::touched_by_swap) reported
+    /// dirty.
+    fn project_errors(&self, perm: &[usize], indices: &[usize], out: &mut [i64]) {
+        for &k in indices {
+            out[k] = self.cost_on_variable(perm, k);
+        }
+    }
+
+    /// Project the errors of **all** variables into `out`
+    /// (`out.len() == size()`).
+    ///
+    /// Equivalent to calling [`cost_on_variable`](Evaluator::cost_on_variable)
+    /// for every position; evaluators whose projection iterates constraint
+    /// state (occurrence tables, line sums, ...) should override this with a
+    /// single batched pass.
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.cost_on_variable(perm, k);
+        }
+    }
+
+    /// Which hot-path methods this evaluator implements incrementally; see
+    /// [`IncrementalProfile`].  The default claims nothing.
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile::default()
+    }
+
     /// Let the problem adjust engine parameters (freeze duration, reset
     /// percentage, ...), mirroring the per-benchmark parameter blocks of the
     /// original C distribution.  The default leaves the configuration as-is.
@@ -108,6 +187,18 @@ impl<E: Evaluator + ?Sized> Evaluator for &mut E {
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         (**self).executed_swap(perm, i, j)
     }
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        (**self).touched_by_swap(perm, i, j, out)
+    }
+    fn project_errors(&self, perm: &[usize], indices: &[usize], out: &mut [i64]) {
+        (**self).project_errors(perm, indices, out)
+    }
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        (**self).project_errors_full(perm, out)
+    }
+    fn incremental_profile(&self) -> IncrementalProfile {
+        (**self).incremental_profile()
+    }
     fn tune(&self, config: &mut SearchConfig) {
         (**self).tune(config)
     }
@@ -137,6 +228,18 @@ impl<E: Evaluator + ?Sized> Evaluator for Box<E> {
     }
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         (**self).executed_swap(perm, i, j)
+    }
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        (**self).touched_by_swap(perm, i, j, out)
+    }
+    fn project_errors(&self, perm: &[usize], indices: &[usize], out: &mut [i64]) {
+        (**self).project_errors(perm, indices, out)
+    }
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        (**self).project_errors_full(perm, out)
+    }
+    fn incremental_profile(&self) -> IncrementalProfile {
+        (**self).incremental_profile()
     }
     fn tune(&self, config: &mut SearchConfig) {
         (**self).tune(config)

@@ -57,7 +57,7 @@ mod summary;
 
 pub use config::{SearchConfig, SearchConfigBuilder};
 pub use engine::AdaptiveSearch;
-pub use evaluator::{Evaluator, EvaluatorFactory};
+pub use evaluator::{Evaluator, EvaluatorFactory, IncrementalProfile};
 pub use outcome::{SearchOutcome, SearchStats, TerminationReason};
 pub use stop::StopControl;
 pub use summary::Summary;

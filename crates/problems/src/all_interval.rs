@@ -12,7 +12,7 @@
 //! counters are maintained incrementally; a swap only touches the at most
 //! four differences adjacent to the two swapped positions.
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The All-Interval Series problem of size `n` (CSPLib prob007).
@@ -78,6 +78,20 @@ impl AllInterval {
             perm[pos]
         }
     }
+
+    /// The ≤ 4 deduplicated adjacent-pair indices involving `i` or `j`.
+    #[inline]
+    fn affected_pairs(&self, i: usize, j: usize) -> ([usize; 4], usize) {
+        let mut pairs = [0usize; 4];
+        let mut np = 0usize;
+        for pair in self.pairs_of(i).chain(self.pairs_of(j)) {
+            if !pairs[..np].contains(&pair) {
+                pairs[np] = pair;
+                np += 1;
+            }
+        }
+        (pairs, np)
+    }
 }
 
 impl Evaluator for AllInterval {
@@ -95,9 +109,18 @@ impl Evaluator for AllInterval {
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let mut probe = self.clone();
-        probe.recompute(perm);
-        probe.cost_from_occ()
+        // From-scratch recount into a local scratch table (no evaluator
+        // clone): every occurrence of a difference beyond the first adds one.
+        let mut seen = vec![0u32; self.n];
+        let mut cost = 0;
+        for pair in 0..self.n - 1 {
+            let d = Self::diff(perm, pair);
+            if seen[d] >= 1 {
+                cost += 1;
+            }
+            seen[d] += 1;
+        }
+        cost
     }
 
     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
@@ -111,51 +134,47 @@ impl Evaluator for AllInterval {
         if i == j || perm[i] == perm[j] {
             return current_cost;
         }
-        // Affected pairs: those adjacent to i or to j (deduplicated).
-        let mut pairs: Vec<usize> = self.pairs_of(i).chain(self.pairs_of(j)).collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-
-        // Adjustments to occurrence counts, kept as (difference, delta).
-        let mut adjust: Vec<(usize, i64)> = Vec::with_capacity(8);
-        let bump = |adjust: &mut Vec<(usize, i64)>, d: usize, delta: i64| {
-            if let Some(entry) = adjust.iter_mut().find(|(dd, _)| *dd == d) {
-                entry.1 += delta;
-            } else {
-                adjust.push((d, delta));
-            }
-        };
+        // Affected pairs: those adjacent to i or to j (deduplicated), and the
+        // occurrence-count adjustments as (difference, delta) — both tiny and
+        // stack-resident (this path runs n−1 times per engine iteration).
+        let (pairs, np) = self.affected_pairs(i, j);
+        let mut adjust = [(0usize, 0i64); 8];
+        let mut na = 0usize;
 
         let mut cost = current_cost;
         // Remove the old differences of the affected pairs, then add the new
         // ones, updating the surplus count as we go.
-        for &pair in &pairs {
+        for &pair in &pairs[..np] {
             let d = Self::diff(perm, pair);
-            let occ_now = i64::from(self.occ[d])
-                + adjust
-                    .iter()
-                    .find(|(dd, _)| *dd == d)
-                    .map_or(0, |(_, delta)| *delta);
+            let mut occ_now = i64::from(self.occ[d]);
+            for &(ad, delta) in &adjust[..na] {
+                if ad == d {
+                    occ_now += delta;
+                }
+            }
             // removing one occurrence reduces the surplus iff occ > 1
             if occ_now > 1 {
                 cost -= 1;
             }
-            bump(&mut adjust, d, -1);
+            adjust[na] = (d, -1);
+            na += 1;
         }
-        for &pair in &pairs {
+        for &pair in &pairs[..np] {
             let a = Self::value_after_swap(perm, i, j, pair);
             let b = Self::value_after_swap(perm, i, j, pair + 1);
             let d = a.abs_diff(b);
-            let occ_now = i64::from(self.occ[d])
-                + adjust
-                    .iter()
-                    .find(|(dd, _)| *dd == d)
-                    .map_or(0, |(_, delta)| *delta);
+            let mut occ_now = i64::from(self.occ[d]);
+            for &(ad, delta) in &adjust[..na] {
+                if ad == d {
+                    occ_now += delta;
+                }
+            }
             // adding an occurrence increases the surplus iff one already exists
             if occ_now >= 1 {
                 cost += 1;
             }
-            bump(&mut adjust, d, 1);
+            adjust[na] = (d, 1);
+            na += 1;
         }
         cost
     }
@@ -166,10 +185,8 @@ impl Evaluator for AllInterval {
         }
         // `perm` is already swapped; the *old* values are recovered by
         // swapping back on the fly.
-        let mut pairs: Vec<usize> = self.pairs_of(i).chain(self.pairs_of(j)).collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-        for &pair in &pairs {
+        let (pairs, np) = self.affected_pairs(i, j);
+        for &pair in &pairs[..np] {
             // old difference: value_after_swap applied to the swapped perm
             // reverses the swap.
             let old_a = Self::value_after_swap(perm, i, j, pair);
@@ -178,6 +195,79 @@ impl Evaluator for AllInterval {
             self.occ[old_d] -= 1;
             let new_d = Self::diff(perm, pair);
             self.occ[new_d] += 1;
+        }
+    }
+
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        if i == j || perm[i] == perm[j] {
+            return true;
+        }
+        // Positions adjacent to an affected pair always need re-projection.
+        let (pairs, np) = self.affected_pairs(i, j);
+        for &pair in &pairs[..np] {
+            out.push(pair);
+            out.push(pair + 1);
+        }
+        // A position elsewhere is touched only when one of its differences
+        // crossed the duplicated/unique boundary.  Reconstruct the net
+        // occurrence deltas of the ≤ 8 changed difference values (`self.occ`
+        // is post-swap) and check which of them flipped `occ > 1`.
+        let mut deltas = [(0usize, 0i64); 8];
+        let mut nd = 0usize;
+        let bump = |deltas: &mut [(usize, i64); 8], nd: &mut usize, d: usize, delta: i64| {
+            for entry in deltas[..*nd].iter_mut() {
+                if entry.0 == d {
+                    entry.1 += delta;
+                    return;
+                }
+            }
+            deltas[*nd] = (d, delta);
+            *nd += 1;
+        };
+        for &pair in &pairs[..np] {
+            let old_a = Self::value_after_swap(perm, i, j, pair);
+            let old_b = Self::value_after_swap(perm, i, j, pair + 1);
+            bump(&mut deltas, &mut nd, old_a.abs_diff(old_b), -1);
+            bump(&mut deltas, &mut nd, Self::diff(perm, pair), 1);
+        }
+        let mut flipped = [0usize; 8];
+        let mut nf = 0usize;
+        for &(d, delta) in &deltas[..nd] {
+            let post = i64::from(self.occ[d]);
+            let pre = post - delta;
+            if (pre > 1) != (post > 1) {
+                flipped[nf] = d;
+                nf += 1;
+            }
+        }
+        if nf > 0 {
+            for pair in 0..self.n - 1 {
+                if flipped[..nf].contains(&Self::diff(perm, pair)) {
+                    out.push(pair);
+                    out.push(pair + 1);
+                }
+            }
+        }
+        true
+    }
+
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        out.iter_mut().for_each(|e| *e = 0);
+        for pair in 0..self.n - 1 {
+            if self.occ[Self::diff(perm, pair)] > 1 {
+                out[pair] += 1;
+                out[pair + 1] += 1;
+            }
+        }
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: true,
         }
     }
 
@@ -219,9 +309,20 @@ impl Evaluator for AllInterval {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        for n in [2usize, 5, 13, 50] {
+            check_projection_cache(AllInterval::new(n), 450 + n as u64, 60);
+        }
+        assert_no_default_hot_paths(&AllInterval::new(10));
+    }
 
     /// The canonical zig-zag construction 0, n-1, 1, n-2, ... is an
     /// all-interval series for every n.

@@ -13,7 +13,7 @@
 //! solution of the generated instance; custom instances with arbitrary
 //! targets can be built with [`AlphaCipher::new`].
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// Number of letters in the alphabet (and of values in the permutation).
@@ -200,9 +200,13 @@ impl Evaluator for AlphaCipher {
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let mut probe = self.clone();
-        probe.recompute(perm);
-        probe.cost_from_sums(&probe.sums)
+        // From-scratch recomputation against a stack-resident assignment
+        // table (no evaluator clone).
+        let values = Self::assignment(perm);
+        self.equations
+            .iter()
+            .map(|eq| (eq.sum_under(&values) - eq.total).abs())
+            .sum()
     }
 
     fn cost_on_variable(&self, _perm: &[usize], i: usize) -> i64 {
@@ -222,18 +226,10 @@ impl Evaluator for AlphaCipher {
         let delta_i = vj - vi;
         let delta_j = vi - vj;
         let mut cost = current_cost;
-        // Equations touched by i and/or j; the per-equation delta is
-        // count_i·Δi + count_j·Δj.
-        let mut handled: Vec<usize> = Vec::with_capacity(8);
-        for &eq_idx in self.letter_to_equations[i]
-            .iter()
-            .chain(self.letter_to_equations[j].iter())
-        {
-            if handled.contains(&eq_idx) {
-                continue;
-            }
-            handled.push(eq_idx);
-            let eq = &self.equations[eq_idx];
+        // One pass over the equations, no allocation: an equation containing
+        // neither letter contributes delta 0 and is skipped by the test below
+        // (the per-equation delta is count_i·Δi + count_j·Δj).
+        for (eq_idx, eq) in self.equations.iter().enumerate() {
             let delta =
                 i64::from(eq.letter_counts[i]) * delta_i + i64::from(eq.letter_counts[j]) * delta_j;
             if delta != 0 {
@@ -253,18 +249,42 @@ impl Evaluator for AlphaCipher {
         let now_j = Self::letter_value(perm, j);
         let delta_i = now_i - now_j;
         let delta_j = now_j - now_i;
-        let mut handled: Vec<usize> = Vec::with_capacity(8);
+        for (eq_idx, eq) in self.equations.iter().enumerate() {
+            self.sums[eq_idx] +=
+                i64::from(eq.letter_counts[i]) * delta_i + i64::from(eq.letter_counts[j]) * delta_j;
+        }
+    }
+
+    fn touched_by_swap(&self, _perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        if i == j {
+            return true;
+        }
+        // A letter's error sums the deviations of the equations it appears
+        // in, so the touched letters are exactly those sharing an equation
+        // with `i` or `j` (a superset: shared equations whose sum happens to
+        // be unchanged are harmless).
+        let mut seen = [false; ALPHABET];
         for &eq_idx in self.letter_to_equations[i]
             .iter()
             .chain(self.letter_to_equations[j].iter())
         {
-            if handled.contains(&eq_idx) {
-                continue;
+            for (letter, &count) in self.equations[eq_idx].letter_counts.iter().enumerate() {
+                if count > 0 && !seen[letter] {
+                    seen[letter] = true;
+                    out.push(letter);
+                }
             }
-            handled.push(eq_idx);
-            let eq = &self.equations[eq_idx];
-            self.sums[eq_idx] +=
-                i64::from(eq.letter_counts[i]) * delta_i + i64::from(eq.letter_counts[j]) * delta_j;
+        }
+        true
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: false,
         }
     }
 
@@ -304,9 +324,18 @@ impl Evaluator for AlphaCipher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        check_projection_cache(AlphaCipher::standard(), 1450, 80);
+        assert_no_default_hot_paths(&AlphaCipher::standard());
+    }
 
     #[test]
     fn reference_assignment_is_a_permutation_of_1_to_26() {

@@ -148,6 +148,20 @@ mod tests {
     }
 
     #[test]
+    fn no_catalog_problem_falls_back_to_default_probe_paths() {
+        // Every catalog problem must provide scratch-buffer `cost`,
+        // incremental `cost_if_swap`/`executed_swap`, and either dirty-set
+        // tracking or a batched projection — and the claims must hold up
+        // under a randomized swap sequence, checked through the trait-object
+        // forwarding layer the registry hands out.
+        for (idx, b) in all_small_benchmarks().into_iter().enumerate() {
+            let evaluator = b.build();
+            crate::test_support::assert_no_default_hot_paths(evaluator.as_ref());
+            crate::test_support::check_projection_cache(evaluator, 3100 + idx as u64, 40);
+        }
+    }
+
+    #[test]
     fn ids_and_labels_are_unique() {
         let benches = all_small_benchmarks();
         let ids: std::collections::HashSet<_> = benches.iter().map(Benchmark::id).collect();

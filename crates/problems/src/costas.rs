@@ -14,16 +14,19 @@
 //! occurrence tables so that swap evaluation costs `O(n)` instead of the
 //! `O(n²)` full recount.
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The Costas Array Problem of order `n`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostasArray {
     n: usize,
-    /// `occ[d][v]` = number of column pairs at distance `d+1` whose row
-    /// difference (shifted by `n−1` to be non-negative) equals `v`.
-    occ: Vec<Vec<u32>>,
+    /// Flat row-major occurrence table: `occ[(d−1)·2n + v]` = number of
+    /// column pairs at distance `d` whose row difference (shifted by `n−1`
+    /// to be non-negative) equals `v`.  Kept flat so the inner loops of swap
+    /// evaluation and error projection stay on one cache-friendly buffer
+    /// instead of chasing a `Vec<Vec<_>>` indirection per distance.
+    occ: Vec<u32>,
 }
 
 impl CostasArray {
@@ -35,7 +38,7 @@ impl CostasArray {
         let rows = n.saturating_sub(1);
         Self {
             n,
-            occ: vec![vec![0; width]; rows],
+            occ: vec![0; width * rows],
         }
     }
 
@@ -51,14 +54,19 @@ impl CostasArray {
         perm[hi] + self.n - 1 - perm[lo]
     }
 
+    /// Start of distance `d`'s row in the flat occurrence table.
+    #[inline]
+    fn row(&self, d: usize) -> usize {
+        (d - 1) * 2 * self.n
+    }
+
     fn recompute(&mut self, perm: &[usize]) {
-        for row in &mut self.occ {
-            row.iter_mut().for_each(|o| *o = 0);
-        }
+        self.occ.iter_mut().for_each(|o| *o = 0);
         for d in 1..self.n {
+            let row = self.row(d);
             for i in 0..self.n - d {
                 let v = self.shifted_diff(perm, i, i + d);
-                self.occ[d - 1][v] += 1;
+                self.occ[row + v] += 1;
             }
         }
     }
@@ -66,9 +74,32 @@ impl CostasArray {
     fn cost_from_occ(&self) -> i64 {
         self.occ
             .iter()
-            .flat_map(|row| row.iter())
             .map(|&o| i64::from(o.saturating_sub(1)))
             .sum()
+    }
+
+    /// The ≤ 4 deduplicated pairs at distance `d` involving `i` or `j`.
+    #[inline]
+    fn affected_pairs(&self, i: usize, j: usize, d: usize) -> ([(usize, usize); 4], usize) {
+        let mut pairs = [(0usize, 0usize); 4];
+        let mut np = 0usize;
+        for p in [i, j] {
+            if let Some(lo) = p.checked_sub(d) {
+                let pair = (lo, p);
+                if !pairs[..np].contains(&pair) {
+                    pairs[np] = pair;
+                    np += 1;
+                }
+            }
+            if p + d < self.n {
+                let pair = (p, p + d);
+                if !pairs[..np].contains(&pair) {
+                    pairs[np] = pair;
+                    np += 1;
+                }
+            }
+        }
+        (pairs, np)
     }
 
     /// Pairs `(lo, hi)` at distance `d` that involve position `p`.
@@ -122,9 +153,29 @@ impl Evaluator for CostasArray {
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let mut probe = self.clone();
-        probe.recompute(perm);
-        probe.cost_from_occ()
+        // From-scratch recount with one scratch row reused across distances
+        // (no evaluator clone): an occurrence beyond the first at any
+        // distance adds one to the surplus.
+        let n = self.n;
+        if n < 2 {
+            return 0;
+        }
+        let mut seen = vec![0u32; 2 * n];
+        let mut cost = 0;
+        for d in 1..n {
+            for lo in 0..n - d {
+                let v = self.shifted_diff(perm, lo, lo + d);
+                if seen[v] >= 1 {
+                    cost += 1;
+                }
+                seen[v] += 1;
+            }
+            // Zero only the entries this distance touched.
+            for lo in 0..n - d {
+                seen[self.shifted_diff(perm, lo, lo + d)] = 0;
+            }
+        }
+        cost
     }
 
     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
@@ -132,9 +183,10 @@ impl Evaluator for CostasArray {
         // participates in.
         let mut err = 0;
         for d in 1..self.n {
+            let row = self.row(d);
             for (lo, hi) in self.pairs_involving(i, d) {
                 let v = self.shifted_diff(perm, lo, hi);
-                if self.occ[d - 1][v] > 1 {
+                if self.occ[row + v] > 1 {
                     err += 1;
                 }
             }
@@ -147,49 +199,46 @@ impl Evaluator for CostasArray {
             return current_cost;
         }
         let mut cost = current_cost;
-        // Per-distance adjustment lists are tiny (at most 8 entries), so a
-        // linear scan beats any hash map here.
-        let mut adjust: Vec<(usize, usize, i64)> = Vec::with_capacity(8);
-        let effective = |occ: &[Vec<u32>], adjust: &[(usize, usize, i64)], d: usize, v: usize| {
-            i64::from(occ[d - 1][v])
-                + adjust
-                    .iter()
-                    .filter(|&&(dd, vv, _)| dd == d && vv == v)
-                    .map(|&(_, _, delta)| delta)
-                    .sum::<i64>()
-        };
-
         for d in 1..self.n {
-            // Differences at different distances live in disjoint tables, so
-            // the adjustment list can be cleared per distance.
-            adjust.clear();
-            // Affected pairs at this distance: those touching i or j, dedup'd.
-            let mut pairs: Vec<(usize, usize)> = self
-                .pairs_involving(i, d)
-                .chain(self.pairs_involving(j, d))
-                .collect();
-            pairs.sort_unstable();
-            pairs.dedup();
+            let row = self.row(d);
+            let (pairs, np) = self.affected_pairs(i, j, d);
+            // Per-distance adjustment list: at most 8 entries, kept on the
+            // stack (this method runs n−1 times per engine iteration, so a
+            // heap allocation here would dominate the whole search).
+            let mut adjust = [(0usize, 0i64); 8];
+            let mut na = 0usize;
 
             // Remove old differences.
-            for &(lo, hi) in &pairs {
+            for &(lo, hi) in &pairs[..np] {
                 let v = self.shifted_diff(perm, lo, hi);
-                let occ_now = effective(&self.occ, &adjust, d, v);
+                let mut occ_now = i64::from(self.occ[row + v]);
+                for &(av, delta) in &adjust[..na] {
+                    if av == v {
+                        occ_now += delta;
+                    }
+                }
                 if occ_now > 1 {
                     cost -= 1;
                 }
-                adjust.push((d, v, -1));
+                adjust[na] = (v, -1);
+                na += 1;
             }
             // Add new differences.
-            for &(lo, hi) in &pairs {
+            for &(lo, hi) in &pairs[..np] {
                 let a = Self::value_after_swap(perm, i, j, lo);
                 let b = Self::value_after_swap(perm, i, j, hi);
                 let v = b + self.n - 1 - a;
-                let occ_now = effective(&self.occ, &adjust, d, v);
+                let mut occ_now = i64::from(self.occ[row + v]);
+                for &(av, delta) in &adjust[..na] {
+                    if av == v {
+                        occ_now += delta;
+                    }
+                }
                 if occ_now >= 1 {
                     cost += 1;
                 }
-                adjust.push((d, v, 1));
+                adjust[na] = (v, 1);
+                na += 1;
             }
         }
         cost
@@ -202,20 +251,46 @@ impl Evaluator for CostasArray {
         // `perm` is the permutation after the swap; un-swapping on the fly
         // recovers the old values for the removal pass.
         for d in 1..self.n {
-            let mut pairs: Vec<(usize, usize)> = self
-                .pairs_involving(i, d)
-                .chain(self.pairs_involving(j, d))
-                .collect();
-            pairs.sort_unstable();
-            pairs.dedup();
-            for &(lo, hi) in &pairs {
+            let row = self.row(d);
+            let (pairs, np) = self.affected_pairs(i, j, d);
+            for &(lo, hi) in &pairs[..np] {
                 let old_a = Self::value_after_swap(perm, i, j, lo);
                 let old_b = Self::value_after_swap(perm, i, j, hi);
                 let old_v = old_b + self.n - 1 - old_a;
-                self.occ[d - 1][old_v] -= 1;
+                self.occ[row + old_v] -= 1;
                 let new_v = self.shifted_diff(perm, lo, hi);
-                self.occ[d - 1][new_v] += 1;
+                self.occ[row + new_v] += 1;
             }
+        }
+    }
+
+    // `touched_by_swap` keeps the default "everything dirty": a swap changes
+    // the difference of *every* pair involving `i` or `j`, and every column
+    // forms such a pair, so the precise dirty set genuinely is all columns.
+    // The batched projection below makes the full refresh a single pass.
+
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        out.iter_mut().for_each(|e| *e = 0);
+        for d in 1..self.n {
+            let row = self.row(d);
+            for lo in 0..self.n - d {
+                let hi = lo + d;
+                let v = self.shifted_diff(perm, lo, hi);
+                if self.occ[row + v] > 1 {
+                    out[lo] += 1;
+                    out[hi] += 1;
+                }
+            }
+        }
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: false,
+            batched_projection: true,
         }
     }
 
@@ -261,7 +336,10 @@ impl Evaluator for CostasArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
 
@@ -322,6 +400,14 @@ mod tests {
         for n in [4usize, 7, 10] {
             check_error_projection(CostasArray::new(n), 600 + n as u64, 20);
         }
+    }
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        for n in [3usize, 6, 11, 14] {
+            check_projection_cache(CostasArray::new(n), 650 + n as u64, 60);
+        }
+        assert_no_default_hot_paths(&CostasArray::new(9));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! separation (`|slot₂ − slot₁| = k + 2` in 1-based "k numbers between"
 //! terms).
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The Langford pairing problem L(2, n).
@@ -119,6 +119,34 @@ impl Evaluator for Langford {
         cost
     }
 
+    fn executed_swap(&mut self, _perm: &[usize], _i: usize, _j: usize) {
+        // Langford keeps no incremental state: deviations are O(1) reads off
+        // the permutation, so there is nothing to rebuild (the trait default
+        // would pointlessly recompute the full cost here).
+    }
+
+    fn touched_by_swap(&self, _perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        // An item's error is the deviation of its own number, which depends
+        // only on the slots of that number's two copies: exactly the numbers
+        // of `i` and `j` are touched (none at all when `i` and `j` are the
+        // two copies of the same number — the distance is symmetric).
+        let (ki, kj) = (i / 2, j / 2);
+        if ki != kj {
+            out.extend([2 * ki, 2 * ki + 1, 2 * kj, 2 * kj + 1]);
+        }
+        true
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: false,
+        }
+    }
+
     fn tune(&self, config: &mut SearchConfig) {
         config.freeze_duration = 2;
         config.plateau_probability = 0.7;
@@ -148,9 +176,20 @@ impl Evaluator for Langford {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        for n in [1usize, 3, 5, 8] {
+            check_projection_cache(Langford::new(n), 1050 + n as u64, 60);
+        }
+        assert_no_default_hot_paths(&Langford::new(4));
+    }
 
     /// The classical L(2,3) solution "2 3 1 2 1 3" expressed in the item →
     /// slot encoding: number 1 at slots 2 and 4, number 2 at 0 and 3,

@@ -97,6 +97,87 @@ pub(crate) mod test_support {
         }
     }
 
+    /// Drive a randomized swap sequence through the engine's incremental
+    /// error-projection protocol and assert, after every executed swap, that
+    /// the cached projection (`touched_by_swap` + `project_errors` /
+    /// `project_errors_full`) agrees with a fresh `cost_on_variable` for
+    /// *every* variable — the exact invariant `AdaptiveSearch` relies on to
+    /// keep its cached `err` vector bit-compatible with a full rescan.
+    pub fn check_projection_cache<E: Evaluator>(mut problem: E, seed: u64, swaps: usize) {
+        let n = problem.size();
+        assert!(
+            n >= 2,
+            "projection cache check needs at least two variables"
+        );
+        let mut rng = default_rng(seed);
+        let mut perm = rng.permutation(n);
+        let mut cost = problem.init(&perm);
+        let mut cache = vec![0i64; n];
+        problem.project_errors_full(&perm, &mut cache);
+        let mut touched: Vec<usize> = Vec::new();
+        for step in 0..swaps {
+            for (k, &cached) in cache.iter().enumerate() {
+                assert_eq!(
+                    cached,
+                    problem.cost_on_variable(&perm, k),
+                    "cached projection stale at variable {k} after {step} swaps"
+                );
+            }
+            let i = rng.index(n);
+            let j = rng.index(n);
+            if i == j {
+                continue;
+            }
+            let predicted = problem.cost_if_swap(&perm, cost, i, j);
+            perm.swap(i, j);
+            problem.executed_swap(&perm, i, j);
+            assert_eq!(
+                predicted,
+                problem.cost(&perm),
+                "cost_if_swap({i},{j}) disagrees with recompute at step {step}"
+            );
+            cost = predicted;
+            touched.clear();
+            if problem.touched_by_swap(&perm, i, j, &mut touched) {
+                problem.project_errors(&perm, &touched, &mut cache);
+            } else {
+                problem.project_errors_full(&perm, &mut cache);
+            }
+        }
+        for (k, &cached) in cache.iter().enumerate() {
+            assert_eq!(
+                cached,
+                problem.cost_on_variable(&perm, k),
+                "cached projection stale at variable {k} after the full swap sequence"
+            );
+        }
+    }
+
+    /// Assert that a problem's [`cbls_core::IncrementalProfile`] rules out
+    /// every default probe path on the engine's hot loop: scratch-buffer
+    /// `cost`, incremental `cost_if_swap` and `executed_swap`, and either a
+    /// tracked dirty set or a batched full projection.
+    pub fn assert_no_default_hot_paths<E: Evaluator + ?Sized>(problem: &E) {
+        let profile = problem.incremental_profile();
+        let name = problem.name();
+        assert!(
+            profile.scratch_cost,
+            "{name}: cost() still clones the evaluator to recompute"
+        );
+        assert!(
+            profile.incremental_cost_if_swap,
+            "{name}: cost_if_swap() inherits the allocate-probe-recompute default"
+        );
+        assert!(
+            profile.incremental_executed_swap,
+            "{name}: executed_swap() inherits the rebuild-from-scratch default"
+        );
+        assert!(
+            profile.tracked_dirty_sets || profile.batched_projection,
+            "{name}: error projection has neither dirty-set tracking nor a batched pass"
+        );
+    }
+
     /// Check that the per-variable error projection is consistent with the
     /// global cost: zero cost implies zero errors, and a positive cost
     /// implies at least one positive error.

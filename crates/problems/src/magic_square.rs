@@ -11,7 +11,7 @@
 //! is `O(1)` and the engine's iteration is `O(n²)` — the same complexity as
 //! the original C model used in the paper.
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The Magic Square problem of order `n` (CSPLib prob019).
@@ -158,9 +158,23 @@ impl Evaluator for MagicSquare {
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let mut probe = self.clone();
-        probe.recompute_sums(perm);
-        probe.cost_from_sums()
+        // From-scratch recomputation with scalar accumulators per line (no
+        // evaluator clone, no scratch tables needed).
+        let n = self.n;
+        let mut cost = 0;
+        for r in 0..n {
+            let sum: i64 = (0..n).map(|c| Self::value(perm, r * n + c)).sum();
+            cost += (sum - self.magic).abs();
+        }
+        for c in 0..n {
+            let sum: i64 = (0..n).map(|r| Self::value(perm, r * n + c)).sum();
+            cost += (sum - self.magic).abs();
+        }
+        let diag: i64 = (0..n).map(|k| Self::value(perm, k * n + k)).sum();
+        cost += (diag - self.magic).abs();
+        let anti: i64 = (0..n).map(|k| Self::value(perm, k * n + n - 1 - k)).sum();
+        cost += (anti - self.magic).abs();
+        cost
     }
 
     fn cost_on_variable(&self, _perm: &[usize], i: usize) -> i64 {
@@ -262,6 +276,63 @@ impl Evaluator for MagicSquare {
         }
     }
 
+    fn touched_by_swap(&self, _perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        if i == j {
+            return true;
+        }
+        // A cell's error is the deviation of the lines through it, so only
+        // cells on a line whose sum changed are touched.  A line containing
+        // both `i` and `j` is unaffected (the swap is internal to it).
+        let n = self.n;
+        let (ri, ci, di, ai) = self.lines_of(i);
+        let (rj, cj, dj, aj) = self.lines_of(j);
+        if ri != rj {
+            out.extend((0..n).map(|c| ri * n + c));
+            out.extend((0..n).map(|c| rj * n + c));
+        }
+        if ci != cj {
+            out.extend((0..n).map(|r| r * n + ci));
+            out.extend((0..n).map(|r| r * n + cj));
+        }
+        if di != dj {
+            out.extend((0..n).map(|k| k * n + k));
+        }
+        if ai != aj {
+            out.extend((0..n).map(|k| k * n + n - 1 - k));
+        }
+        true
+    }
+
+    fn project_errors_full(&self, _perm: &[usize], out: &mut [i64]) {
+        // Batched pass: pre-compute each line's deviation once, then sum the
+        // deviations of the (2..4) lines through every cell.
+        let n = self.n;
+        let diag_dev = (self.diag_sum - self.magic).abs();
+        let anti_dev = (self.anti_diag_sum - self.magic).abs();
+        for (idx, slot) in out.iter_mut().enumerate() {
+            let (r, c) = (idx / n, idx % n);
+            let mut err =
+                (self.row_sums[r] - self.magic).abs() + (self.col_sums[c] - self.magic).abs();
+            if r == c {
+                err += diag_dev;
+            }
+            if r + c == n - 1 {
+                err += anti_dev;
+            }
+            *slot = err;
+        }
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: true,
+        }
+    }
+
     fn tune(&self, config: &mut SearchConfig) {
         // Parameters calibrated with the `tune_scratch` sweep (see
         // examples/tune_scratch.rs): strict improvement only, a slightly
@@ -312,9 +383,20 @@ impl Evaluator for MagicSquare {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        for n in [2usize, 3, 5, 7] {
+            check_projection_cache(MagicSquare::new(n), 250 + n as u64, 60);
+        }
+        assert_no_default_hot_paths(&MagicSquare::new(4));
+    }
 
     /// The classic Lo Shu square, as a permutation (values minus one):
     /// ```text

@@ -10,7 +10,7 @@
 //! model, both deviations are simply added (they are both zero exactly on
 //! solutions).
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The equal-sums / equal-sums-of-squares number partitioning problem.
@@ -100,9 +100,15 @@ impl Evaluator for NumberPartitioning {
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let mut probe = self.clone();
-        probe.recompute(perm);
-        probe.cost_from_sums(probe.sum_a, probe.sum_sq_a)
+        // From-scratch recomputation with scalar accumulators (no clone).
+        let mut sum_a = 0;
+        let mut sum_sq_a = 0;
+        for i in 0..self.half() {
+            let v = Self::value(perm, i);
+            sum_a += v;
+            sum_sq_a += v * v;
+        }
+        self.cost_from_sums(sum_a, sum_sq_a)
     }
 
     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
@@ -147,6 +153,61 @@ impl Evaluator for NumberPartitioning {
         self.sum_sq_a += now_a * now_a - was_a * was_a;
     }
 
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        if i == j {
+            return true;
+        }
+        // Every variable's error is zero when the partition balances and its
+        // own value otherwise, so only the solved/unsolved transition touches
+        // anything beyond the two swapped positions.  `self` is post-swap;
+        // the pre-swap sums are recovered by undoing the value exchange.
+        let half = self.half();
+        let new_err = self.cost_from_sums(self.sum_a, self.sum_sq_a);
+        let old_err = if (i < half) == (j < half) {
+            new_err // same-group swap: group sums unchanged
+        } else {
+            let a_pos = if i < half { i } else { j };
+            let b_pos = if i < half { j } else { i };
+            let now_a = Self::value(perm, a_pos);
+            let was_a = Self::value(perm, b_pos);
+            self.cost_from_sums(
+                self.sum_a - now_a + was_a,
+                self.sum_sq_a - now_a * now_a + was_a * was_a,
+            )
+        };
+        match (old_err == 0, new_err == 0) {
+            (true, true) => {}
+            (false, false) => {
+                out.push(i);
+                out.push(j);
+            }
+            _ => return false, // crossed the solved boundary: all errors change
+        }
+        true
+    }
+
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        // Batched pass: decide the group-level error once instead of once
+        // per variable.
+        if self.cost_from_sums(self.sum_a, self.sum_sq_a) == 0 {
+            out.iter_mut().for_each(|e| *e = 0);
+        } else {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = Self::value(perm, i);
+            }
+        }
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: true,
+        }
+    }
+
     fn tune(&self, config: &mut SearchConfig) {
         config.freeze_duration = 1;
         config.plateau_probability = 1.0;
@@ -180,9 +241,22 @@ impl Evaluator for NumberPartitioning {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        // Enough swaps to cross the solved/unsolved boundary both ways on
+        // the small instances (the all-dirty transition in touched_by_swap).
+        for n in [4usize, 8, 16, 24] {
+            check_projection_cache(NumberPartitioning::new(n), 1250 + n as u64, 80);
+        }
+        assert_no_default_hot_paths(&NumberPartitioning::new(8));
+    }
 
     #[test]
     fn known_partition_for_n8() {

@@ -19,8 +19,18 @@
 //! attainable and equivalent to solving CSPLib prob009.  DESIGN.md records
 //! this substitution.
 
-use cbls_core::{Evaluator, SearchConfig};
+use std::cell::RefCell;
+
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
+
+thread_local! {
+    /// Scratch skyline shared by every `cost_if_swap` probe on this thread,
+    /// so the engine's hottest path (n − 1 probes per iteration) performs no
+    /// heap allocation.  Thread-local rather than a struct field: the
+    /// evaluator stays `Serialize`/`Clone` and probes take `&self`.
+    static SKYLINE_SCRATCH: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A square-packing instance: the master rectangle and the square sizes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,11 +119,25 @@ pub struct Placement {
 }
 
 /// The Perfect Square placement problem in placement-order encoding.
+///
+/// The bottom-left-fill decoder is replayed incrementally: `init` records the
+/// skyline *before each placement step* together with prefix overflow sums,
+/// so probing a swap of slots `i < j` (and committing one in
+/// `executed_swap`) re-decodes only the suffix starting at `i` instead of
+/// the whole order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfectSquare {
     instance: SquarePackingInstance,
-    /// Per-square overflow contribution of the last `init`/`executed_swap`.
+    /// Per-slot overflow contribution of the last `init`/`executed_swap`.
     contributions: Vec<i64>,
+    /// The permutation the incremental state below was built for.
+    committed: Vec<usize>,
+    /// Flat `(n + 1) × width` table: row `s` is the skyline before step `s`
+    /// of the committed decode.
+    prefix_skyline: Vec<i64>,
+    /// `prefix_cost[s]` = total overflow of the first `s` committed
+    /// placements.
+    prefix_cost: Vec<i64>,
 }
 
 impl PerfectSquare {
@@ -134,6 +158,9 @@ impl PerfectSquare {
         Self {
             instance,
             contributions: vec![0; n],
+            committed: Vec::new(),
+            prefix_skyline: Vec::new(),
+            prefix_cost: vec![0; n + 1],
         }
     }
 
@@ -155,6 +182,41 @@ impl PerfectSquare {
         &self.instance
     }
 
+    /// Place one square of side `size` with the bottom-left-fill rule (the
+    /// lowest, then left-most, position within the master width), mutate the
+    /// skyline, and return `(x, y, overflow_area)` where the overflow is the
+    /// area of the square above `target_height`.
+    fn place(skyline: &mut [i64], size: usize, target_height: i64) -> (usize, i64, i64) {
+        let width = skyline.len();
+        let mut best_x = 0usize;
+        let mut best_y = i64::MAX;
+        for x in 0..=width - size {
+            let y = skyline[x..x + size].iter().copied().max().unwrap_or(0);
+            if y < best_y {
+                best_y = y;
+                best_x = x;
+            }
+        }
+        let top = best_y + size as i64;
+        for column in &mut skyline[best_x..best_x + size] {
+            *column = top;
+        }
+        let spill_height = (top - target_height).clamp(0, size as i64);
+        (best_x, best_y, spill_height * size as i64)
+    }
+
+    /// The square scheduled at `slot` once `i` and `j` are exchanged.
+    #[inline]
+    fn square_after_swap(perm: &[usize], i: usize, j: usize, slot: usize) -> usize {
+        if slot == i {
+            perm[j]
+        } else if slot == j {
+            perm[i]
+        } else {
+            perm[slot]
+        }
+    }
+
     /// Decode a placement order into concrete placements with the
     /// bottom-left-fill rule, also returning the per-square overflow above
     /// the master height.
@@ -169,32 +231,39 @@ impl PerfectSquare {
 
         for &square in perm {
             let size = self.instance.sizes[square] as usize;
-            // Find the lowest (then left-most) position where the square fits
-            // within the master width.
-            let mut best_x = 0usize;
-            let mut best_y = i64::MAX;
-            for x in 0..=width - size {
-                let y = skyline[x..x + size].iter().copied().max().unwrap_or(0);
-                if y < best_y {
-                    best_y = y;
-                    best_x = x;
-                }
-            }
-            let top = best_y + size as i64;
-            for column in &mut skyline[best_x..best_x + size] {
-                *column = top;
-            }
-            // Overflow: area of this square above the master height.
-            let spill_height = (top - target_height).clamp(0, size as i64);
-            overflow[square] = spill_height * size as i64;
+            let (x, y, spill) = Self::place(&mut skyline, size, target_height);
+            overflow[square] = spill;
             placements.push(Placement {
                 square,
-                x: best_x as u32,
-                y: u32::try_from(best_y.max(0)).unwrap_or(u32::MAX),
+                x: x as u32,
+                y: u32::try_from(y.max(0)).unwrap_or(u32::MAX),
                 size: size as u32,
             });
         }
         (placements, overflow)
+    }
+
+    /// Rebuild the committed incremental state (prefix skylines, prefix
+    /// overflow sums, per-slot contributions) from step `start`, assuming
+    /// rows `0..=start` of `prefix_skyline` and `prefix_cost[..=start]` are
+    /// already valid for `perm`.
+    fn recommit_from(&mut self, perm: &[usize], start: usize) {
+        let width = self.instance.width as usize;
+        let target_height = i64::from(self.instance.height);
+        let n = self.instance.sizes.len();
+        self.prefix_skyline.resize((n + 1) * width, 0);
+        self.committed.clear();
+        self.committed.extend_from_slice(perm);
+        for s in start..n {
+            let (head, tail) = self.prefix_skyline.split_at_mut((s + 1) * width);
+            let row = &head[s * width..];
+            let next = &mut tail[..width];
+            next.copy_from_slice(row);
+            let size = self.instance.sizes[perm[s]] as usize;
+            let (_, _, spill) = Self::place(next, size, target_height);
+            self.contributions[s] = spill;
+            self.prefix_cost[s + 1] = self.prefix_cost[s] + spill;
+        }
     }
 
     fn total_overflow(overflow: &[i64]) -> i64 {
@@ -212,17 +281,25 @@ impl Evaluator for PerfectSquare {
     }
 
     fn init(&mut self, perm: &[usize]) -> i64 {
-        let (_, overflow) = self.decode(perm);
-        let cost = Self::total_overflow(&overflow);
-        // Attribute each square's overflow to the slot that scheduled it, so
-        // the engine's per-variable errors point at the positions to repair.
-        self.contributions = perm.iter().map(|&square| overflow[square]).collect();
-        cost
+        // Full decode, recording the skyline before every step so that swap
+        // probes and commits can resume mid-order.  The overflow is
+        // attributed to the slot that scheduled each square, so the engine's
+        // per-variable errors point at the positions to repair.
+        self.recommit_from(perm, 0);
+        self.prefix_cost[self.instance.sizes.len()]
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let (_, overflow) = self.decode(perm);
-        Self::total_overflow(&overflow)
+        // From-scratch replay with a single scratch skyline (no evaluator
+        // clone, no placement/overflow vectors).
+        let target_height = i64::from(self.instance.height);
+        let mut skyline = vec![0i64; self.instance.width as usize];
+        perm.iter()
+            .map(|&square| {
+                let size = self.instance.sizes[square] as usize;
+                Self::place(&mut skyline, size, target_height).2
+            })
+            .sum()
     }
 
     fn cost_on_variable(&self, _perm: &[usize], i: usize) -> i64 {
@@ -231,8 +308,71 @@ impl Evaluator for PerfectSquare {
         self.contributions.get(i).copied().unwrap_or(0)
     }
 
-    fn executed_swap(&mut self, perm: &[usize], _i: usize, _j: usize) {
-        let _ = self.init(perm);
+    fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+        if i == j {
+            return current_cost;
+        }
+        let width = self.instance.width as usize;
+        let target_height = i64::from(self.instance.height);
+        let n = self.instance.sizes.len();
+        let s0 = i.min(j);
+        SKYLINE_SCRATCH.with(|scratch| {
+            let mut skyline = scratch.borrow_mut();
+            skyline.clear();
+            skyline.resize(width, 0);
+            // Placements before the first swapped slot are unchanged, so when
+            // probing from the committed permutation (the engine always does)
+            // the decode resumes from the recorded prefix.
+            let (mut total, start) = if perm == self.committed.as_slice() {
+                skyline.copy_from_slice(&self.prefix_skyline[s0 * width..(s0 + 1) * width]);
+                (self.prefix_cost[s0], s0)
+            } else {
+                (0, 0)
+            };
+            for s in start..n {
+                let size = self.instance.sizes[Self::square_after_swap(perm, i, j, s)] as usize;
+                total += Self::place(&mut skyline, size, target_height).2;
+            }
+            total
+        })
+    }
+
+    fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let s0 = i.min(j);
+        // The committed prefix up to the first swapped slot is still valid;
+        // re-decode only the suffix.  (If the permutation diverged earlier —
+        // it never does under the engine contract — fall back to a full
+        // rebuild.)
+        if self.committed.len() == perm.len() && self.committed[..s0] == perm[..s0] {
+            self.recommit_from(perm, s0);
+        } else {
+            self.recommit_from(perm, 0);
+        }
+    }
+
+    fn touched_by_swap(&self, _perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        // Slots before the first swapped position keep their placements and
+        // therefore their errors; everything from there on may move.
+        let s0 = i.min(j);
+        out.extend(s0..self.instance.sizes.len());
+        true
+    }
+
+    fn project_errors_full(&self, _perm: &[usize], out: &mut [i64]) {
+        out.copy_from_slice(&self.contributions);
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: true,
+        }
     }
 
     fn tune(&self, config: &mut SearchConfig) {
@@ -283,9 +423,24 @@ impl Evaluator for PerfectSquare {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        check_projection_cache(PerfectSquare::order9(), 950, 60);
+        check_projection_cache(PerfectSquare::csplib_order21(), 951, 30);
+        check_projection_cache(
+            PerfectSquare::new(SquarePackingInstance::uniform_grid(3, 4)),
+            952,
+            40,
+        );
+        assert_no_default_hot_paths(&PerfectSquare::order9());
+    }
 
     #[test]
     fn csplib_instance_is_area_consistent() {
@@ -341,9 +496,9 @@ mod tests {
 
     #[test]
     fn incremental_consistency() {
-        // PerfectSquare has no incremental shortcut (the default
-        // `cost_if_swap` probes a copy), but the consistency harness still
-        // validates init/cost/executed_swap agreement.
+        // `cost_if_swap` resumes the decode from the recorded prefix when
+        // probing the committed permutation; the harness validates it against
+        // a full recompute, together with init/cost/executed_swap agreement.
         check_incremental_consistency(PerfectSquare::order9(), 900, 10);
         check_incremental_consistency(
             PerfectSquare::new(SquarePackingInstance::uniform_grid(2, 3)),
@@ -355,6 +510,29 @@ mod tests {
     #[test]
     fn error_projection_consistency() {
         check_error_projection(PerfectSquare::order9(), 902, 10);
+    }
+
+    #[test]
+    fn cost_if_swap_from_uncommitted_permutation_matches_recompute() {
+        // The prefix fast path only applies when probing the committed
+        // permutation; probing any other order must fall back to a full
+        // replay and still agree with a from-scratch recompute.
+        let mut p = PerfectSquare::order9();
+        let mut rng = default_rng(953);
+        let committed = as_rng::RandomSource::permutation(&mut rng, 9);
+        let other = as_rng::RandomSource::permutation(&mut rng, 9);
+        let _ = p.init(&committed);
+        let other_cost = p.cost(&other);
+        for i in 0..9 {
+            for j in 0..9 {
+                if i == j {
+                    continue;
+                }
+                let mut probe = other.clone();
+                probe.swap(i, j);
+                assert_eq!(p.cost_if_swap(&other, other_cost, i, j), p.cost(&probe));
+            }
+        }
     }
 
     #[test]

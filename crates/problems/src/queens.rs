@@ -7,7 +7,7 @@
 //! original Adaptive Search distribution and serves here as an easy,
 //! well-understood model for tests, examples and the baseline comparison.
 
-use cbls_core::{Evaluator, SearchConfig};
+use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The N-Queens problem of order `n` in permutation encoding.
@@ -68,6 +68,36 @@ impl NQueens {
         };
         pairs(&self.diag_up) + pairs(&self.diag_down)
     }
+
+    /// C(k, 2) attacking pairs on a diagonal holding `k` queens.
+    #[inline]
+    fn pair(k: i64) -> i64 {
+        k * (k - 1) / 2
+    }
+
+    /// Re-cost one diagonal family entry under a pending ±1 adjustment,
+    /// tracking previous adjustments in a stack-resident list (at most four
+    /// per family per swap).
+    #[inline]
+    fn apply_adjustment(
+        cost: &mut i64,
+        counts: &[u32],
+        adjust: &mut [(usize, i64); 4],
+        len: &mut usize,
+        idx: usize,
+        delta: i64,
+    ) {
+        let mut current = i64::from(counts[idx]);
+        for &(d, v) in &adjust[..*len] {
+            if d == idx {
+                current += v;
+            }
+        }
+        *cost -= Self::pair(current);
+        *cost += Self::pair(current + delta);
+        adjust[*len] = (idx, delta);
+        *len += 1;
+    }
 }
 
 impl Evaluator for NQueens {
@@ -85,9 +115,17 @@ impl Evaluator for NQueens {
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let mut probe = self.clone();
-        probe.recompute(perm);
-        probe.cost_from_diags()
+        // From-scratch recount into local scratch tables (no evaluator clone).
+        let mut up = vec![0u32; 2 * self.n - 1];
+        let mut down = vec![0u32; 2 * self.n - 1];
+        for (col, &row) in perm.iter().enumerate() {
+            up[self.up(col, row)] += 1;
+            down[self.down(col, row)] += 1;
+        }
+        up.iter()
+            .chain(down.iter())
+            .map(|&k| Self::pair(i64::from(k)))
+            .sum()
     }
 
     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
@@ -102,87 +140,46 @@ impl Evaluator for NQueens {
         if i == j || perm[i] == perm[j] {
             return current_cost;
         }
-        let pair = |k: u32| i64::from(k) * (i64::from(k) - 1) / 2;
         // Remove queens (i, perm[i]) and (j, perm[j]), add (i, perm[j]) and
         // (j, perm[i]); track the four affected diagonals per family with a
-        // tiny adjustment list.
+        // stack-resident adjustment list (no heap allocation on this path —
+        // it runs n−1 times per engine iteration).
         let mut cost = current_cost;
-        let mut adjust_up: Vec<(usize, i64)> = Vec::with_capacity(4);
-        let mut adjust_down: Vec<(usize, i64)> = Vec::with_capacity(4);
+        let mut adjust_up = [(0usize, 0i64); 4];
+        let mut nu = 0usize;
+        let mut adjust_down = [(0usize, 0i64); 4];
+        let mut nd = 0usize;
 
-        let apply = |cost: &mut i64,
-                     counts: &[u32],
-                     adjust: &mut Vec<(usize, i64)>,
-                     idx: usize,
-                     delta: i64| {
-            let current = i64::from(counts[idx])
-                + adjust
-                    .iter()
-                    .filter(|&&(d, _)| d == idx)
-                    .map(|&(_, v)| v)
-                    .sum::<i64>();
-            *cost -= pair(u32::try_from(current).expect("diagonal count overflow"));
-            *cost += pair(u32::try_from(current + delta).expect("diagonal count overflow"));
-            adjust.push((idx, delta));
-        };
-
-        apply(
-            &mut cost,
-            &self.diag_up,
-            &mut adjust_up,
-            self.up(i, perm[i]),
-            -1,
-        );
-        apply(
-            &mut cost,
-            &self.diag_up,
-            &mut adjust_up,
-            self.up(j, perm[j]),
-            -1,
-        );
-        apply(
-            &mut cost,
-            &self.diag_up,
-            &mut adjust_up,
-            self.up(i, perm[j]),
-            1,
-        );
-        apply(
-            &mut cost,
-            &self.diag_up,
-            &mut adjust_up,
-            self.up(j, perm[i]),
-            1,
-        );
-
-        apply(
-            &mut cost,
-            &self.diag_down,
-            &mut adjust_down,
-            self.down(i, perm[i]),
-            -1,
-        );
-        apply(
-            &mut cost,
-            &self.diag_down,
-            &mut adjust_down,
-            self.down(j, perm[j]),
-            -1,
-        );
-        apply(
-            &mut cost,
-            &self.diag_down,
-            &mut adjust_down,
-            self.down(i, perm[j]),
-            1,
-        );
-        apply(
-            &mut cost,
-            &self.diag_down,
-            &mut adjust_down,
-            self.down(j, perm[i]),
-            1,
-        );
+        for (idx, delta) in [
+            (self.up(i, perm[i]), -1),
+            (self.up(j, perm[j]), -1),
+            (self.up(i, perm[j]), 1),
+            (self.up(j, perm[i]), 1),
+        ] {
+            Self::apply_adjustment(
+                &mut cost,
+                &self.diag_up,
+                &mut adjust_up,
+                &mut nu,
+                idx,
+                delta,
+            );
+        }
+        for (idx, delta) in [
+            (self.down(i, perm[i]), -1),
+            (self.down(j, perm[j]), -1),
+            (self.down(i, perm[j]), 1),
+            (self.down(j, perm[i]), 1),
+        ] {
+            Self::apply_adjustment(
+                &mut cost,
+                &self.diag_down,
+                &mut adjust_down,
+                &mut nd,
+                idx,
+                delta,
+            );
+        }
 
         cost
     }
@@ -210,6 +207,44 @@ impl Evaluator for NQueens {
         self.diag_down[down_old_j] -= 1;
         self.diag_down[down_new_i] += 1;
         self.diag_down[down_new_j] += 1;
+    }
+
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        if i == j {
+            return true;
+        }
+        // A queen's error depends only on the counts of its own two
+        // diagonals; the swap changed counts on at most eight diagonals
+        // (old and new, per family).  `perm` is post-swap, so the old
+        // diagonal of column `i` is the one through `(i, perm[j])`.
+        let up_set = [
+            self.up(i, perm[i]),
+            self.up(j, perm[j]),
+            self.up(i, perm[j]),
+            self.up(j, perm[i]),
+        ];
+        let down_set = [
+            self.down(i, perm[i]),
+            self.down(j, perm[j]),
+            self.down(i, perm[j]),
+            self.down(j, perm[i]),
+        ];
+        for (k, &row) in perm.iter().enumerate() {
+            if up_set.contains(&self.up(k, row)) || down_set.contains(&self.down(k, row)) {
+                out.push(k);
+            }
+        }
+        true
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            batched_projection: false,
+        }
     }
 
     fn tune(&self, config: &mut SearchConfig) {
@@ -246,9 +281,20 @@ impl Evaluator for NQueens {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{check_error_projection, check_incremental_consistency};
+    use crate::test_support::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
+
+    #[test]
+    fn projection_cache_stays_fresh_across_swaps() {
+        for n in [4usize, 9, 17, 32] {
+            check_projection_cache(NQueens::new(n), 850 + n as u64, 60);
+        }
+        assert_no_default_hot_paths(&NQueens::new(8));
+    }
 
     #[test]
     fn known_solution_for_six_queens() {

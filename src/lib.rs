@@ -50,8 +50,8 @@ pub use cbls_propagation as propagation;
 pub mod prelude {
     pub use as_rng::{default_rng, DefaultRng, RandomSource, SeedSequence};
     pub use cbls_core::{
-        AdaptiveSearch, Evaluator, EvaluatorFactory, SearchConfig, SearchOutcome, SearchStats,
-        StopControl, Summary, TerminationReason,
+        AdaptiveSearch, Evaluator, EvaluatorFactory, IncrementalProfile, SearchConfig,
+        SearchOutcome, SearchStats, StopControl, Summary, TerminationReason,
     };
     pub use cbls_parallel::{
         dependent::{run_dependent, DependentWalkConfig},

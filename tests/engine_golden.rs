@@ -1,0 +1,190 @@
+//! Pinned engine trajectories ("golden runs").
+//!
+//! The incremental error-projection engine must be *behavior-preserving*:
+//! selection order, RNG draw sequence and `SearchStats` on fixed seeds stay
+//! bit-identical to the pre-projection engine.  These values were captured
+//! from the engine as of PR 2 (full `cost_on_variable` rescan every
+//! iteration) and pin that contract: any future change that perturbs the
+//! search trajectory — however well-intentioned — must update these numbers
+//! *consciously*, because it silently invalidates every recorded experiment.
+
+use parallel_cbls::prelude::*;
+
+fn golden(benchmark: Benchmark, seed: u64) -> SearchOutcome {
+    let mut problem = benchmark.build();
+    let engine = benchmark.engine();
+    engine.solve(&mut problem, &mut default_rng(seed))
+}
+
+fn assert_stats(out: &SearchOutcome, expected: SearchStats, label: &str) {
+    assert_eq!(out.stats, expected, "{label}: trajectory changed");
+    assert_eq!(out.best_cost, 0, "{label}: golden runs all solve");
+    assert_eq!(out.reason, TerminationReason::Solved, "{label}");
+}
+
+#[test]
+fn costas_10_seed_123_trajectory_is_pinned() {
+    let out = golden(Benchmark::CostasArray(10), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 10022,
+            swaps: 10000,
+            local_minima: 22,
+            plateau_moves: 9980,
+            forced_moves: 0,
+            variables_marked: 22,
+            resets: 11,
+            restarts: 1,
+            swap_evaluations: 90198,
+        },
+        "costas-10",
+    );
+    assert_eq!(out.solution, vec![8, 1, 7, 3, 2, 0, 5, 6, 9, 4]);
+}
+
+#[test]
+fn magic_square_5_seed_123_trajectory_is_pinned() {
+    let out = golden(Benchmark::MagicSquare(5), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 15586,
+            swaps: 11646,
+            local_minima: 4039,
+            plateau_moves: 0,
+            forced_moves: 99,
+            variables_marked: 3940,
+            resets: 1970,
+            restarts: 0,
+            swap_evaluations: 374064,
+        },
+        "magic-square-5",
+    );
+}
+
+#[test]
+fn all_interval_12_seed_123_trajectory_is_pinned() {
+    let out = golden(Benchmark::AllInterval(12), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 10,
+            swaps: 6,
+            local_minima: 4,
+            plateau_moves: 1,
+            forced_moves: 0,
+            variables_marked: 4,
+            resets: 1,
+            restarts: 0,
+            swap_evaluations: 110,
+        },
+        "all-interval-12",
+    );
+    assert_eq!(out.solution, vec![1, 9, 2, 11, 0, 10, 4, 6, 5, 8, 3, 7]);
+}
+
+#[test]
+fn queens_32_seed_7_trajectory_is_pinned() {
+    let out = golden(Benchmark::NQueens(32), 7);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 11,
+            swaps: 11,
+            local_minima: 0,
+            plateau_moves: 1,
+            forced_moves: 0,
+            variables_marked: 0,
+            resets: 0,
+            restarts: 0,
+            swap_evaluations: 341,
+        },
+        "queens-32",
+    );
+}
+
+#[test]
+fn langford_7_seed_9_trajectory_is_pinned() {
+    let out = golden(Benchmark::Langford(7), 9);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 111,
+            swaps: 85,
+            local_minima: 26,
+            plateau_moves: 53,
+            forced_moves: 0,
+            variables_marked: 26,
+            resets: 8,
+            restarts: 0,
+            swap_evaluations: 1443,
+        },
+        "langford-7",
+    );
+}
+
+#[test]
+fn perfect_square_order9_seed_903_trajectory_is_pinned() {
+    let out = golden(Benchmark::PerfectSquareOrder9, 903);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 1144,
+            swaps: 524,
+            local_minima: 620,
+            plateau_moves: 150,
+            forced_moves: 0,
+            variables_marked: 620,
+            resets: 310,
+            restarts: 0,
+            swap_evaluations: 9152,
+        },
+        "perfect-square-order9",
+    );
+    assert_eq!(out.solution, vec![0, 1, 6, 2, 5, 7, 3, 8, 4]);
+}
+
+#[test]
+fn alpha_seed_1600_trajectory_is_pinned() {
+    // Alpha runs in exhaustive mode: it pins the pair-scan path, which
+    // bypasses the error-projection cache entirely.
+    let out = golden(Benchmark::Alpha, 1600);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 22926,
+            swaps: 11075,
+            local_minima: 11851,
+            plateau_moves: 8263,
+            forced_moves: 0,
+            variables_marked: 0,
+            resets: 237,
+            restarts: 0,
+            swap_evaluations: 7450950,
+        },
+        "alpha",
+    );
+}
+
+#[test]
+fn partition_16_seed_123_trajectory_is_pinned() {
+    // The longest golden run (1.45M iterations): partition's plateau-heavy
+    // landscape exercises the swap-every-iteration path of the cache.
+    let out = golden(Benchmark::NumberPartitioning(16), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 1_450_001,
+            swaps: 1_450_001,
+            local_minima: 0,
+            plateau_moves: 1_449_983,
+            forced_moves: 0,
+            variables_marked: 0,
+            resets: 0,
+            restarts: 29,
+            swap_evaluations: 21_750_015,
+        },
+        "partition-16",
+    );
+}
