@@ -41,6 +41,16 @@ fn main() {
         );
     }
 
+    let overhead = &report.executor_overhead;
+    println!(
+        "{:<24} {:>12.0} iters/sec with telemetry, {:>12.0} without  ({:+.2}% overhead, {} events)",
+        format!("executor:{}", overhead.id),
+        overhead.iters_per_sec_events_on,
+        overhead.iters_per_sec_events_off,
+        100.0 * overhead.overhead_fraction,
+        overhead.events,
+    );
+
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     match std::fs::write(&out, json + "\n") {
         Ok(()) => eprintln!("wrote {out}"),

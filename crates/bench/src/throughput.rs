@@ -15,6 +15,9 @@ use std::time::Instant;
 
 use as_rng::default_rng;
 use cbls_core::{AdaptiveSearch, StopControl};
+use cbls_parallel::{
+    CountingSink, SequentialExecutor, WalkBatch, WalkExecutor, WalkJob, WalkSeeds,
+};
 use cbls_problems::Benchmark;
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +80,28 @@ pub struct ReferenceEntry {
     pub iters_per_sec: f64,
 }
 
+/// Cost of the executor layer's telemetry stream on one benchmark: the same
+/// fixed-budget run, through the walk executor, with the event stream
+/// attached and detached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorOverheadResult {
+    /// Benchmark id (see [`Benchmark::id`]).
+    pub id: String,
+    /// Iterations performed per repetition.
+    pub iterations: u64,
+    /// Iterations per second with no event sink attached (best repetition).
+    pub iters_per_sec_events_off: f64,
+    /// Iterations per second with a counting sink consuming every event
+    /// (best repetition).
+    pub iters_per_sec_events_on: f64,
+    /// `1 − on/off`: the throughput fraction lost to the event stream.
+    /// Values near zero (or slightly negative — scheduler noise) mean the
+    /// telemetry is effectively free on the engine's hot path.
+    pub overhead_fraction: f64,
+    /// Number of events the sink consumed in one events-on repetition.
+    pub events: u64,
+}
+
 /// The full report serialized to `BENCH_engine.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineThroughputReport {
@@ -96,6 +121,9 @@ pub struct EngineThroughputReport {
     /// `iters_per_sec / reference` per benchmark id, where a reference
     /// exists.
     pub speedup_vs_reference: Vec<ReferenceEntry>,
+    /// Telemetry cost of the walk-executor layer (events on vs. off) on the
+    /// paper's CAP headline instance.
+    pub executor_overhead: ExecutorOverheadResult,
 }
 
 /// The benchmark set every throughput report measures: the paper's CAP
@@ -189,6 +217,77 @@ pub fn measure(benchmark: &Benchmark, config: &ThroughputConfig) -> ThroughputRe
     }
 }
 
+/// Measure the telemetry cost of the walk-executor layer on one benchmark:
+/// run the same fixed iteration budget through [`SequentialExecutor`] with
+/// and without an event sink attached, and report both throughputs.
+///
+/// The acceptance bar for the executor refactor is that the events-on run
+/// loses at most a few percent of iterations/sec — the stream only touches
+/// the engine's cold edges (restarts, strict best-cost improvements), never
+/// the per-iteration hot path.
+#[must_use]
+pub fn measure_executor_overhead(
+    benchmark: &Benchmark,
+    config: &ThroughputConfig,
+) -> ExecutorOverheadResult {
+    let mut tuned = benchmark.tuned_config();
+    tuned.target_cost = -1;
+    let per_restart = tuned.max_iterations_per_restart;
+    let total = config.budget;
+    // The budget as a pure function of the restart index (executor jobs share
+    // their schedule across threads, so it cannot carry mutable state):
+    // per-restart slices until the total budget is consumed.
+    let budget = move |restart: u64| {
+        let used = restart.saturating_mul(per_restart);
+        (used < total).then(|| per_restart.min(total - used))
+    };
+    let job = WalkJob::new(tuned)
+        .with_label(benchmark.id())
+        .with_budget(budget);
+    let batch = WalkBatch::new(WalkSeeds::new(THROUGHPUT_SEED), vec![job]).run_to_completion();
+    let factory = || benchmark.build();
+
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let mut iterations = 0;
+    let mut events = 0;
+    for _ in 0..config.repetitions.max(1) {
+        let off = SequentialExecutor.execute(&factory, &batch);
+        let off_iters = off.records[0].outcome.stats.iterations;
+        let off_rate = off_iters as f64 / off.wall_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        if off_rate > best_off {
+            best_off = off_rate;
+            iterations = off_iters;
+        }
+
+        let sink = CountingSink::new();
+        let on = SequentialExecutor.execute_with_telemetry(&factory, &batch, &sink);
+        let on_iters = on.records[0].outcome.stats.iterations;
+        assert_eq!(
+            off_iters, on_iters,
+            "telemetry must not perturb the trajectory"
+        );
+        let on_rate = on_iters as f64 / on.wall_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        if on_rate > best_on {
+            best_on = on_rate;
+            events = sink.count();
+        }
+    }
+
+    ExecutorOverheadResult {
+        id: benchmark.id(),
+        iterations,
+        iters_per_sec_events_off: best_off,
+        iters_per_sec_events_on: best_on,
+        overhead_fraction: if best_off > 0.0 {
+            1.0 - best_on / best_off
+        } else {
+            0.0
+        },
+        events,
+    }
+}
+
 /// Measure the whole suite and assemble the report.
 #[must_use]
 pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputReport {
@@ -218,6 +317,7 @@ pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputRepo
         results,
         reference,
         speedup_vs_reference,
+        executor_overhead: measure_executor_overhead(&Benchmark::CostasArray(14), config),
     }
 }
 
@@ -265,8 +365,25 @@ mod tests {
             report.results.len(),
             "every suite entry has a reference"
         );
+        assert_eq!(report.executor_overhead.id, "costas-14");
         let json = serde_json::to_string(&report).unwrap();
         let back: EngineThroughputReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn executor_overhead_runs_the_budget_and_counts_events() {
+        let config = ThroughputConfig {
+            budget: 600,
+            repetitions: 1,
+        };
+        let overhead = measure_executor_overhead(&Benchmark::NQueens(16), &config);
+        assert_eq!(overhead.id, "queens-16");
+        assert_eq!(overhead.iterations, 600);
+        assert!(overhead.iters_per_sec_events_off > 0.0);
+        assert!(overhead.iters_per_sec_events_on > 0.0);
+        // at least Started + Finished, plus any restart/improvement events
+        assert!(overhead.events >= 2);
+        assert!(overhead.overhead_fraction < 1.0);
     }
 }

@@ -19,6 +19,7 @@ use as_rng::RandomSource;
 
 use crate::config::SearchConfig;
 use crate::evaluator::Evaluator;
+use crate::observer::{NoObserver, SearchObserver};
 use crate::outcome::{SearchOutcome, SearchStats, TerminationReason};
 use crate::stop::StopControl;
 
@@ -136,9 +137,14 @@ impl AdaptiveSearch {
         R: RandomSource + ?Sized,
     {
         let cfg = self.config.clone();
-        self.solve_inner(eval, rng, stop, initial, |restart| {
-            cfg.restart_budget(restart)
-        })
+        self.solve_inner(
+            eval,
+            rng,
+            stop,
+            initial,
+            |restart| cfg.restart_budget(restart),
+            &mut NoObserver,
+        )
     }
 
     /// Solve `eval` with the restart loop driven by an external budget
@@ -169,21 +175,55 @@ impl AdaptiveSearch {
         R: RandomSource + ?Sized,
         S: FnMut(u64) -> Option<u64>,
     {
-        self.solve_inner(eval, rng, stop, None, budget_of)
+        self.solve_inner(eval, rng, stop, None, budget_of, &mut NoObserver)
     }
 
-    fn solve_inner<E, R, S>(
+    /// The fully general entry point: solve `eval` from an optional initial
+    /// configuration, with an external restart-budget schedule and a
+    /// [`SearchObserver`] receiving restart / best-cost-improvement events.
+    ///
+    /// Observation is passive — the observer cannot perturb the trajectory,
+    /// so the outcome is bit-identical to the same call with
+    /// [`NoObserver`].  This is the hook the multi-walk executor layer's
+    /// telemetry stream plugs into; see [`SearchObserver`] for a runnable
+    /// example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is provided and its length differs from
+    /// `eval.size()`.
+    pub fn solve_observed<E, R, S, O>(
+        &self,
+        eval: &mut E,
+        rng: &mut R,
+        stop: &StopControl,
+        initial: Option<&[usize]>,
+        budget_of: S,
+        observer: &mut O,
+    ) -> SearchOutcome
+    where
+        E: Evaluator + ?Sized,
+        R: RandomSource + ?Sized,
+        S: FnMut(u64) -> Option<u64>,
+        O: SearchObserver + ?Sized,
+    {
+        self.solve_inner(eval, rng, stop, initial, budget_of, observer)
+    }
+
+    fn solve_inner<E, R, S, O>(
         &self,
         eval: &mut E,
         rng: &mut R,
         stop: &StopControl,
         initial: Option<&[usize]>,
         mut budget_of: S,
+        observer: &mut O,
     ) -> SearchOutcome
     where
         E: Evaluator + ?Sized,
         R: RandomSource + ?Sized,
         S: FnMut(u64) -> Option<u64>,
+        O: SearchObserver + ?Sized,
     {
         let started = Instant::now();
         let cfg = &self.config;
@@ -245,6 +285,7 @@ impl AdaptiveSearch {
         'restarts: while let Some(restart_budget) = budget_of(restart) {
             if restart > 0 {
                 stats.restarts += 1;
+                observer.on_restart(restart);
             }
             let mut perm = match (restart, initial) {
                 (0, Some(init)) => init.to_vec(),
@@ -269,6 +310,7 @@ impl AdaptiveSearch {
                 if cost < best_cost {
                     best_cost = cost;
                     best_perm = perm.clone();
+                    observer.on_improvement(stats.iterations, cost);
                 }
                 if cost <= cfg.target_cost {
                     reason = TerminationReason::Solved;
@@ -866,6 +908,62 @@ mod tests {
             next_a, next_b,
             "identical runs leave the stream in the same state"
         );
+    }
+
+    #[test]
+    fn observed_runs_are_bit_identical_and_report_cold_edges() {
+        use crate::observer::SearchObserver;
+
+        #[derive(Default)]
+        struct Trace {
+            improvements: Vec<(u64, i64)>,
+            restarts: Vec<u64>,
+        }
+        impl SearchObserver for Trace {
+            fn on_restart(&mut self, restart: u64) {
+                self.restarts.push(restart);
+            }
+            fn on_improvement(&mut self, iteration: u64, cost: i64) {
+                self.improvements.push((iteration, cost));
+            }
+        }
+
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(40)
+            .max_restarts(5)
+            .build();
+        let engine = AdaptiveSearch::new(config.clone());
+
+        let mut p1 = SortPermutation::new(24);
+        let plain = engine.solve(&mut p1, &mut rng(31));
+
+        let mut trace = Trace::default();
+        let mut p2 = SortPermutation::new(24);
+        let observed = engine.solve_observed(
+            &mut p2,
+            &mut rng(31),
+            &StopControl::new(),
+            None,
+            |r| config.restart_budget(r),
+            &mut trace,
+        );
+
+        // observation is passive: identical trajectory and statistics
+        assert_eq!(plain.stats, observed.stats);
+        assert_eq!(plain.solution, observed.solution);
+        assert_eq!(plain.best_cost, observed.best_cost);
+
+        // restarts are reported 1-based, in order, one per counted restart
+        assert_eq!(trace.restarts.len() as u64, observed.stats.restarts);
+        assert_eq!(
+            trace.restarts,
+            (1..=observed.stats.restarts).collect::<Vec<u64>>()
+        );
+        // improvements are strictly decreasing in cost, non-decreasing in
+        // iteration, and end at the winning cost
+        assert!(trace.improvements.windows(2).all(|w| w[1].1 < w[0].1));
+        assert!(trace.improvements.windows(2).all(|w| w[1].0 >= w[0].0));
+        assert_eq!(trace.improvements.last().unwrap().1, observed.best_cost);
     }
 
     #[test]

@@ -41,8 +41,11 @@
 //! * [`AdaptiveSearch`] — the solver itself.
 //! * [`SearchOutcome`] / [`SearchStats`] / [`TerminationReason`] — per-run
 //!   results and counters.
-//! * [`StopControl`] — cooperative termination, the only communication the
-//!   paper's independent walks ever perform.
+//! * [`StopControl`] — cooperative termination (stop flag + monotonic
+//!   deadline), the only communication the paper's independent walks ever
+//!   perform.
+//! * [`SearchObserver`] — passive restart / improvement hooks consumed by
+//!   the multi-walk executor's telemetry stream.
 //! * [`Summary`] — descriptive statistics over repeated runs.
 
 #![forbid(unsafe_code)]
@@ -51,6 +54,7 @@
 mod config;
 mod engine;
 mod evaluator;
+mod observer;
 mod outcome;
 mod stop;
 mod summary;
@@ -58,6 +62,7 @@ mod summary;
 pub use config::{SearchConfig, SearchConfigBuilder};
 pub use engine::AdaptiveSearch;
 pub use evaluator::{Evaluator, EvaluatorFactory, IncrementalProfile};
+pub use observer::{NoObserver, SearchObserver};
 pub use outcome::{SearchOutcome, SearchStats, TerminationReason};
 pub use stop::StopControl;
 pub use summary::Summary;

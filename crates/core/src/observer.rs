@@ -1,0 +1,114 @@
+//! Observation hooks into a running search.
+//!
+//! The multi-walk executor layer wants a live event stream (walk started,
+//! restarted, improved its best cost, finished) without the engine knowing
+//! anything about walks, channels or sinks.  [`SearchObserver`] is the
+//! engine-side half of that contract: a callback object handed to
+//! [`AdaptiveSearch::solve_observed`](crate::AdaptiveSearch::solve_observed)
+//! whose hooks fire on the *cold* edges of the search loop only — restart
+//! boundaries and strict best-cost improvements — never once per iteration.
+//!
+//! Observation is strictly passive: an observer cannot influence the
+//! trajectory, the RNG stream or the statistics, so a run with any observer
+//! is bit-identical to the same run with [`NoObserver`].
+
+/// Passive callbacks fired by the engine at restart boundaries and on strict
+/// improvements of the run's best cost.
+///
+/// All hooks have empty default bodies, so an implementation only overrides
+/// what it consumes.  The engine calls the hooks synchronously from the
+/// search loop; implementations should therefore stay cheap (the multi-walk
+/// telemetry layer forwards them to a sink and returns immediately).
+///
+/// ```
+/// use as_rng::default_rng;
+/// use cbls_core::{AdaptiveSearch, Evaluator, SearchConfig, SearchObserver, StopControl};
+///
+/// // Cost = number of misplaced values; solved when sorted.
+/// struct Sort(usize);
+/// impl Evaluator for Sort {
+///     fn size(&self) -> usize { self.0 }
+///     fn init(&mut self, perm: &[usize]) -> i64 { self.cost(perm) }
+///     fn cost(&self, perm: &[usize]) -> i64 {
+///         perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+///     }
+///     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+///         i64::from(perm[i] != i)
+///     }
+/// }
+///
+/// #[derive(Default)]
+/// struct Trace {
+///     improvements: Vec<i64>,
+///     restarts: u64,
+/// }
+/// impl SearchObserver for Trace {
+///     fn on_improvement(&mut self, _iteration: u64, cost: i64) {
+///         self.improvements.push(cost);
+///     }
+///     fn on_restart(&mut self, _restart: u64) {
+///         self.restarts += 1;
+///     }
+/// }
+///
+/// let engine = AdaptiveSearch::new(SearchConfig::default());
+/// let config = engine.config().clone();
+/// let mut trace = Trace::default();
+/// let outcome = engine.solve_observed(
+///     &mut Sort(16),
+///     &mut default_rng(7),
+///     &StopControl::new(),
+///     None,
+///     |restart| config.restart_budget(restart),
+///     &mut trace,
+/// );
+/// assert!(outcome.solved());
+/// // every recorded improvement is strictly better than the previous one
+/// assert!(trace.improvements.windows(2).all(|w| w[1] < w[0]));
+/// assert_eq!(*trace.improvements.last().unwrap(), 0);
+/// ```
+pub trait SearchObserver {
+    /// A new restart is about to begin.  `restart` is the 1-based index of
+    /// the restart (the initial try is not reported: the run itself starting
+    /// is observable by the caller).
+    fn on_restart(&mut self, restart: u64) {
+        let _ = restart;
+    }
+
+    /// The run's best cost strictly improved to `cost` (reached after
+    /// `iteration` engine iterations).  Fired at most once per distinct best
+    /// cost, including for the initial configuration's cost at iteration 0.
+    fn on_improvement(&mut self, iteration: u64, cost: i64) {
+        let _ = (iteration, cost);
+    }
+}
+
+/// The no-op observer: every hook compiles away.
+///
+/// [`AdaptiveSearch::solve`](crate::AdaptiveSearch::solve) and the other
+/// observer-less entry points run with `NoObserver`, so adding the hook layer
+/// costs unobserved runs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoObserver;
+
+impl SearchObserver for NoObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        // NoObserver (and any observer relying on the default bodies) accepts
+        // every hook without effect.
+        let mut obs = NoObserver;
+        obs.on_restart(3);
+        obs.on_improvement(10, 42);
+
+        struct Empty;
+        impl SearchObserver for Empty {}
+        let mut empty = Empty;
+        empty.on_restart(0);
+        empty.on_improvement(0, 0);
+    }
+}

@@ -36,9 +36,21 @@ impl StopControl {
     /// A stop control that fires after `timeout` of wall-clock time.
     #[must_use]
     pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A stop control that fires at a fixed monotonic `deadline`.
+    ///
+    /// This is the form the multi-walk executor uses: the deadline is
+    /// computed *once* when a batch starts, so every walk — whatever thread
+    /// or scheduling back-end it runs on, and however late it is launched —
+    /// self-cancels at the same instant.  A deadline already in the past
+    /// stops the run at its first poll.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
         Self {
             flag: Arc::new(AtomicBool::new(false)),
-            deadline: Some(Instant::now() + timeout),
+            deadline: Some(deadline),
         }
     }
 
@@ -54,9 +66,39 @@ impl StopControl {
 
     /// Attach a wall-clock deadline to this control.
     #[must_use]
-    pub fn and_timeout(mut self, timeout: Duration) -> Self {
-        self.deadline = Some(Instant::now() + timeout);
+    pub fn and_timeout(self, timeout: Duration) -> Self {
+        self.and_deadline(Instant::now() + timeout)
+    }
+
+    /// Attach a fixed monotonic deadline to this control.
+    #[must_use]
+    pub fn and_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
+    }
+
+    /// The monotonic deadline, if one is set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Wall-clock time left until the deadline (`None` without a deadline,
+    /// [`Duration::ZERO`] once it has passed).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the deadline (and only the deadline — the flag is ignored)
+    /// has passed.
+    #[must_use]
+    pub fn deadline_passed(&self) -> bool {
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
     }
 
     /// The shared flag, for handing to sibling walks.
@@ -81,13 +123,7 @@ impl StopControl {
     /// or because the deadline has passed.
     #[must_use]
     pub fn should_stop(&self) -> bool {
-        if self.flag.load(Ordering::Acquire) {
-            return true;
-        }
-        match self.deadline {
-            Some(d) => Instant::now() >= d,
-            None => false,
-        }
+        self.flag.load(Ordering::Acquire) || self.deadline_passed()
     }
 }
 
@@ -143,6 +179,40 @@ mod tests {
     fn zero_timeout_stops_immediately() {
         let c = StopControl::with_timeout(Duration::ZERO);
         assert!(c.should_stop());
+    }
+
+    #[test]
+    fn deadline_accessors_are_consistent() {
+        let no_deadline = StopControl::new();
+        assert!(no_deadline.deadline().is_none());
+        assert!(no_deadline.remaining().is_none());
+        assert!(!no_deadline.deadline_passed());
+
+        let deadline = Instant::now() + Duration::from_secs(3600);
+        let c = StopControl::with_deadline(deadline);
+        assert_eq!(c.deadline(), Some(deadline));
+        assert!(!c.deadline_passed());
+        assert!(c.remaining().unwrap() <= Duration::from_secs(3600));
+        assert!(c.remaining().unwrap() > Duration::from_secs(3590));
+
+        let past = StopControl::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(past.deadline_passed());
+        assert!(past.should_stop());
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
+        // the flag itself is untouched: only the deadline fired
+        assert!(!past.stop_requested());
+    }
+
+    #[test]
+    fn and_deadline_attaches_to_a_shared_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let c = StopControl::with_shared_flag(Arc::clone(&flag))
+            .and_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(c.should_stop());
+        assert!(
+            !flag.load(Ordering::Acquire),
+            "deadline must not raise the flag"
+        );
     }
 
     #[test]

@@ -30,12 +30,11 @@
 
 use as_rng::RandomSource;
 use cbls_core::{
-    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, SearchStats, StopControl,
-    TerminationReason,
+    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchStats, StopControl, TerminationReason,
 };
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::executor::{RayonExecutor, WalkExecutor};
 use crate::seeds::WalkSeeds;
 
 /// Parameters of a dependent multi-walk run.
@@ -137,12 +136,9 @@ struct WalkState {
     rng: as_rng::DefaultRng,
     best_cost: i64,
     best_perm: Option<Vec<usize>>,
-    /// Outcome of the segment that just ran, plus whether the walk adopted
-    /// the elite at its start; consumed by the sequential merge.
-    pending: Option<(SearchOutcome, bool)>,
 }
 
-/// Run the dependent multi-walk scheme.
+/// Run the dependent multi-walk scheme on the rayon pool.
 ///
 /// The result is a deterministic function of `(factory, config)`: walks read
 /// the elite as of the segment start and publish through a sequential merge,
@@ -153,6 +149,28 @@ struct WalkState {
 /// Panics if `config.walks == 0` or `config.segment_iterations == 0`.
 pub fn run_dependent<F>(factory: &F, config: &DependentWalkConfig) -> DependentWalkResult
 where
+    F: EvaluatorFactory,
+{
+    run_dependent_on(factory, config, &RayonExecutor)
+}
+
+/// Run the dependent multi-walk scheme on any [`WalkExecutor`] back-end.
+///
+/// Each segment fans its walks out through
+/// [`WalkExecutor::run_batch`] and merges publications sequentially in walk
+/// order, so the result is identical on every back-end — determinism is a
+/// property of the scheme, not of the scheduler.
+///
+/// # Panics
+///
+/// Panics if `config.walks == 0` or `config.segment_iterations == 0`.
+pub fn run_dependent_on<X, F>(
+    factory: &F,
+    config: &DependentWalkConfig,
+    executor: &X,
+) -> DependentWalkResult
+where
+    X: WalkExecutor,
     F: EvaluatorFactory,
 {
     assert!(config.walks > 0, "a dependent run needs at least one walk");
@@ -177,7 +195,6 @@ where
             rng: seeds.rng_of(w),
             best_cost: i64::MAX,
             best_perm: None,
-            pending: None,
         })
         .collect();
 
@@ -189,7 +206,7 @@ where
         // segment start, so adoption decisions do not depend on how fast
         // sibling walks happen to run.
         let snapshot = elite.clone();
-        states.par_iter_mut().for_each(|state| {
+        let segment_work = |_walk_id: usize, mut state: WalkState| {
             let mut evaluator = factory.build();
 
             // Decide the starting configuration for this segment: the shared
@@ -225,14 +242,15 @@ where
                 state.best_cost = outcome.best_cost;
                 state.best_perm = Some(outcome.solution.clone());
             }
-            state.pending = Some((outcome, adopted));
-        });
+            (state, outcome, adopted)
+        };
+        let segment_results = executor.run_batch(std::mem::take(&mut states), &segment_work);
 
         // Sequential merge in walk order (publication to the elite pool —
         // minimal data transfer: one configuration per walk per segment).
         let mut solved_this_segment = false;
-        for (walk_id, state) in states.iter_mut().enumerate() {
-            let (outcome, adopted) = state.pending.take().expect("segment ran for every walk");
+        for (walk_id, (state, outcome, adopted)) in segment_results.into_iter().enumerate() {
+            states.push(state);
             total_stats.merge(&outcome.stats);
             if adopted {
                 elite_adoptions += 1;

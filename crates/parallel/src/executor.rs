@@ -1,0 +1,770 @@
+//! The walk-execution layer: one place that knows how to run a batch of
+//! independent walks.
+//!
+//! The paper's parallel scheme is a single mechanism — `p` seeded walks
+//! sharing nothing but a termination signal — and this module is its single
+//! implementation.  A [`WalkJob`] describes one walk (engine configuration,
+//! optional restart-budget schedule, label); a [`WalkBatch`] bundles the jobs
+//! with their [`WalkSeeds`] family, an optional wall-clock timeout and the
+//! stop semantics; a [`WalkExecutor`] back-end decides *where* the walks run:
+//!
+//! * [`ThreadsExecutor`] — one OS thread per walk (the paper's
+//!   one-engine-per-core deployment);
+//! * [`RayonExecutor`] — the rayon pool (hundreds of logical walks on a few
+//!   physical cores);
+//! * [`SequentialExecutor`] — one walk after another on the calling thread
+//!   (the deterministic replay used by the figure harness).
+//!
+//! Whatever the back-end, the semantics are identical: every walk draws the
+//! stream `WalkSeeds::rng_of(walk_id)`, the first walk to reach its target
+//! cost raises the shared [`StopControl`] flag (unless the batch
+//! [runs to completion](WalkBatch::run_to_completion)), a timeout becomes a
+//! *monotonic deadline* computed once per batch so every walk self-cancels at
+//! the same instant, and the winner is resolved by [`select_winner`] —
+//! smallest recorded elapsed time, ties broken by walk id — so the choice is
+//! deterministic across schedulers.  The multi-walk, dependent-walk and
+//! portfolio entry points of this workspace are all thin adapters over this
+//! module.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cbls_core::{AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl};
+use rayon::prelude::*;
+
+use crate::seeds::WalkSeeds;
+use crate::telemetry::{EventSink, WalkEvent, WalkObserver};
+
+/// A restart-budget schedule shared across threads: maps the 0-based restart
+/// index to that restart's iteration budget, `None` to end the walk.
+pub type WalkBudget = Arc<dyn Fn(u64) -> Option<u64> + Send + Sync>;
+
+/// The description of one walk of a batch: engine configuration, an optional
+/// external restart schedule, and a label carried into reports and events.
+///
+/// The walk's random stream is *not* part of the job — streams are derived
+/// from the batch's [`WalkSeeds`] and the job's position, so walk `i` of any
+/// batch with master seed `s` draws exactly the stream walk `i` of every
+/// other entry point with master seed `s` draws.
+#[derive(Clone)]
+pub struct WalkJob {
+    /// Label carried into [`WalkRecord`]s (portfolios put the member's
+    /// strategy name here; flat multi-walk runs leave it empty).
+    pub label: String,
+    /// Engine parameters of the walk.
+    pub search: SearchConfig,
+    /// External restart schedule; `None` runs the configuration's own fixed
+    /// `max_iterations_per_restart` / `max_restarts` schedule.
+    pub budget: Option<WalkBudget>,
+}
+
+impl WalkJob {
+    /// A job running `search` under its own restart policy, with no label.
+    #[must_use]
+    pub fn new(search: SearchConfig) -> Self {
+        Self {
+            label: String::new(),
+            search,
+            budget: None,
+        }
+    }
+
+    /// Attach a label (reported back in [`WalkRecord::label`]).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Drive the restart loop with an external budget schedule instead of
+    /// the configuration's fixed one (see
+    /// [`AdaptiveSearch::solve_scheduled`]).
+    #[must_use]
+    pub fn with_budget(
+        mut self,
+        budget: impl Fn(u64) -> Option<u64> + Send + Sync + 'static,
+    ) -> Self {
+        self.budget = Some(Arc::new(budget));
+        self
+    }
+}
+
+impl fmt::Debug for WalkJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalkJob")
+            .field("label", &self.label)
+            .field("search", &self.search)
+            .field("budget", &self.budget.as_ref().map(|_| "<schedule>"))
+            .finish()
+    }
+}
+
+/// A batch of walks plus everything shared between them: the seed family,
+/// the optional wall-clock timeout and the stop semantics.
+#[derive(Debug, Clone)]
+pub struct WalkBatch {
+    seeds: WalkSeeds,
+    jobs: Vec<WalkJob>,
+    timeout: Option<Duration>,
+    stop_on_first_success: bool,
+}
+
+impl WalkBatch {
+    /// A batch running `jobs[i]` as walk `i`, with first-finisher stop
+    /// semantics and no timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty.
+    #[must_use]
+    pub fn new(seeds: WalkSeeds, jobs: Vec<WalkJob>) -> Self {
+        assert!(!jobs.is_empty(), "a walk batch needs at least one walk");
+        Self {
+            seeds,
+            jobs,
+            timeout: None,
+            stop_on_first_success: true,
+        }
+    }
+
+    /// A batch of `walks` identical jobs (the paper's homogeneous scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walks` is zero.
+    #[must_use]
+    pub fn uniform(master_seed: u64, search: &SearchConfig, walks: usize) -> Self {
+        assert!(walks > 0, "a walk batch needs at least one walk");
+        let jobs = (0..walks).map(|_| WalkJob::new(search.clone())).collect();
+        Self::new(WalkSeeds::new(master_seed), jobs)
+    }
+
+    /// Attach a wall-clock timeout.  The executor converts it into a single
+    /// monotonic deadline on [`StopControl`] when the batch starts, so every
+    /// walk — on every back-end — self-cancels at the same instant.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Let every walk run to completion instead of stopping the batch at the
+    /// first success (the deterministic-replay semantics: one replay answers
+    /// "what would a `p`-walk run have cost?" for every prefix `p`).
+    #[must_use]
+    pub fn run_to_completion(mut self) -> Self {
+        self.stop_on_first_success = false;
+        self
+    }
+
+    /// Remove any wall-clock timeout (replays drop the timeout so that a
+    /// walk's recorded cost never depends on when the replay started).
+    #[must_use]
+    pub fn without_timeout(mut self) -> Self {
+        self.timeout = None;
+        self
+    }
+
+    /// The batch's seed family.
+    #[must_use]
+    pub fn seeds(&self) -> WalkSeeds {
+        self.seeds
+    }
+
+    /// The jobs, ordered by walk index.
+    #[must_use]
+    pub fn jobs(&self) -> &[WalkJob] {
+        &self.jobs
+    }
+
+    /// Number of walks in the batch.
+    #[must_use]
+    pub fn walks(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The optional wall-clock timeout.
+    #[must_use]
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// Whether the first successful walk stops the others.
+    #[must_use]
+    pub fn stops_on_first_success(&self) -> bool {
+        self.stop_on_first_success
+    }
+}
+
+/// The outcome of one walk of an executed batch.
+#[derive(Debug, Clone)]
+pub struct WalkRecord {
+    /// Walk index within the batch.
+    pub walk_id: usize,
+    /// The job's label.
+    pub label: String,
+    /// The walk's derived 64-bit seed.
+    pub seed: u64,
+    /// The walk's search outcome.
+    pub outcome: SearchOutcome,
+}
+
+/// The aggregate result of executing a [`WalkBatch`].
+#[derive(Debug, Clone)]
+pub struct BatchExecution {
+    /// The winning walk per [`select_winner`], if any walk solved.
+    pub winner: Option<usize>,
+    /// Per-walk records, ordered by walk index.
+    pub records: Vec<WalkRecord>,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+}
+
+impl BatchExecution {
+    /// The winning walk's record, if any walk solved.
+    #[must_use]
+    pub fn winning_record(&self) -> Option<&WalkRecord> {
+        self.winner.map(|w| &self.records[w])
+    }
+}
+
+/// Anything that pairs a walk id with a [`SearchOutcome`] — the minimal view
+/// [`select_winner`] needs, implemented by the walk-report types of both the
+/// parallel and the portfolio crate.
+pub trait WalkOutcome {
+    /// The walk's index within its run.
+    fn walk_id(&self) -> usize;
+    /// The walk's search outcome.
+    fn outcome(&self) -> &SearchOutcome;
+}
+
+impl WalkOutcome for WalkRecord {
+    fn walk_id(&self) -> usize {
+        self.walk_id
+    }
+    fn outcome(&self) -> &SearchOutcome {
+        &self.outcome
+    }
+}
+
+/// Resolve the winner of a multi-walk run: the solved walk with the smallest
+/// recorded elapsed time, ties broken by the smaller walk id.
+///
+/// Using the recorded elapsed time (rather than wall-clock arrival order)
+/// keeps the choice deterministic across schedulers; the tie-break makes it
+/// total.  Returns `None` when no walk solved.
+pub fn select_winner<R: WalkOutcome>(reports: &[R]) -> Option<usize> {
+    reports
+        .iter()
+        .filter(|r| r.outcome().solved())
+        .min_by_key(|r| (r.outcome().elapsed, r.walk_id()))
+        .map(WalkOutcome::walk_id)
+}
+
+/// An execution back-end for walk batches.
+///
+/// Implementations provide [`run_batch`](WalkExecutor::run_batch) — "run
+/// these independent tasks and give me their results in input order" — and
+/// inherit [`execute`](WalkExecutor::execute) /
+/// [`execute_with_telemetry`](WalkExecutor::execute_with_telemetry), which
+/// layer the multi-walk semantics (seed derivation, shared stop flag,
+/// deadline, events, winner selection) on top.  Every back-end therefore
+/// produces bit-identical per-walk trajectories; only scheduling differs.
+///
+/// ```
+/// use cbls_core::{Evaluator, SearchConfig};
+/// use cbls_parallel::{SequentialExecutor, ThreadsExecutor, WalkBatch, WalkExecutor};
+///
+/// // Cost = number of misplaced values; solved when sorted.
+/// #[derive(Clone)]
+/// struct Sort(usize);
+/// impl Evaluator for Sort {
+///     fn size(&self) -> usize { self.0 }
+///     fn init(&mut self, perm: &[usize]) -> i64 { self.cost(perm) }
+///     fn cost(&self, perm: &[usize]) -> i64 {
+///         perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+///     }
+///     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+///         i64::from(perm[i] != i)
+///     }
+/// }
+///
+/// let batch = WalkBatch::uniform(42, &SearchConfig::default(), 4).run_to_completion();
+/// let sequential = SequentialExecutor.execute(&|| Sort(16), &batch);
+/// let threaded = ThreadsExecutor.execute(&|| Sort(16), &batch);
+///
+/// // back-ends agree walk for walk, bit for bit
+/// for (s, t) in sequential.records.iter().zip(threaded.records.iter()) {
+///     assert_eq!(s.seed, t.seed);
+///     assert_eq!(s.outcome.stats.iterations, t.outcome.stats.iterations);
+///     assert!(s.outcome.solved() && t.outcome.solved());
+/// }
+/// ```
+pub trait WalkExecutor: Sync {
+    /// Short back-end name for diagnostics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Run `work(i, items[i])` for every item, returning the results in item
+    /// order.  `work` must be safe to call from multiple threads; whether it
+    /// actually is depends on the back-end.
+    fn run_batch<I, T, W>(&self, items: Vec<I>, work: &W) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        W: Fn(usize, I) -> T + Sync;
+
+    /// Execute a batch without telemetry.
+    fn execute<F>(&self, factory: &F, batch: &WalkBatch) -> BatchExecution
+    where
+        F: EvaluatorFactory,
+        Self: Sized,
+    {
+        execute_inner(self, factory, batch, None)
+    }
+
+    /// Execute a batch, emitting [`WalkEvent`]s to `sink` as walks start,
+    /// restart, improve and finish.  Telemetry is passive: the records are
+    /// bit-identical to [`execute`](WalkExecutor::execute).
+    fn execute_with_telemetry<F>(
+        &self,
+        factory: &F,
+        batch: &WalkBatch,
+        sink: &dyn EventSink,
+    ) -> BatchExecution
+    where
+        F: EvaluatorFactory,
+        Self: Sized,
+    {
+        execute_inner(self, factory, batch, Some(sink))
+    }
+}
+
+/// One OS thread per walk — the closest analogue of the paper's
+/// one-MPI-process-per-core deployment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadsExecutor;
+
+impl WalkExecutor for ThreadsExecutor {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run_batch<I, T, W>(&self, items: Vec<I>, work: &W) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        W: Fn(usize, I) -> T + Sync,
+    {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| scope.spawn(move || work(i, item)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("walk thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// The rayon pool — for running more logical walks than physical cores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RayonExecutor;
+
+impl WalkExecutor for RayonExecutor {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+
+    fn run_batch<I, T, W>(&self, items: Vec<I>, work: &W) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        W: Fn(usize, I) -> T + Sync,
+    {
+        items
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(i, item)| work(i, item))
+            .collect()
+    }
+}
+
+/// One walk after another on the calling thread — the deterministic replay.
+///
+/// With [`WalkBatch::run_to_completion`] this is the figure harness's replay
+/// back-end; with first-finisher semantics, walks after the first success
+/// stop at their first poll of the (already raised) flag.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl WalkExecutor for SequentialExecutor {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run_batch<I, T, W>(&self, items: Vec<I>, work: &W) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        W: Fn(usize, I) -> T + Sync,
+    {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| work(i, item))
+            .collect()
+    }
+}
+
+/// The shared execution path behind every back-end's `execute*` methods.
+fn execute_inner<X, F>(
+    executor: &X,
+    factory: &F,
+    batch: &WalkBatch,
+    sink: Option<&dyn EventSink>,
+) -> BatchExecution
+where
+    X: WalkExecutor,
+    F: EvaluatorFactory,
+{
+    let started = Instant::now();
+    // One deadline for the whole batch, computed once: every walk self-cancels
+    // at the same monotonic instant, whatever thread it runs on and however
+    // late the scheduler launches it.
+    let stop = match batch.timeout {
+        Some(t) => StopControl::with_deadline(started + t),
+        None => StopControl::new(),
+    };
+    // Engines are built (and their configurations validated) on the calling
+    // thread, so an invalid configuration panics before any walk is spawned.
+    let engines: Vec<AdaptiveSearch> = batch
+        .jobs
+        .iter()
+        .map(|job| AdaptiveSearch::new(job.search.clone()))
+        .collect();
+    let items: Vec<(&WalkJob, AdaptiveSearch)> = batch.jobs.iter().zip(engines).collect();
+
+    let seeds = batch.seeds;
+    let stop_on_first_success = batch.stop_on_first_success;
+    let stop = &stop;
+    let mut records: Vec<WalkRecord> = executor.run_batch(items, &move |walk_id, (job, engine)| {
+        run_walk(
+            factory,
+            job,
+            &engine,
+            seeds,
+            walk_id,
+            stop,
+            sink,
+            stop_on_first_success,
+        )
+    });
+    records.sort_by_key(|r| r.walk_id);
+
+    BatchExecution {
+        winner: select_winner(&records),
+        records,
+        wall_time: started.elapsed(),
+    }
+}
+
+/// Run one walk of a batch: derive its stream, solve, raise the shared flag
+/// on success (under first-finisher semantics) and emit its events.
+#[allow(clippy::too_many_arguments)]
+fn run_walk<F>(
+    factory: &F,
+    job: &WalkJob,
+    engine: &AdaptiveSearch,
+    seeds: WalkSeeds,
+    walk_id: usize,
+    stop: &StopControl,
+    sink: Option<&dyn EventSink>,
+    stop_on_first_success: bool,
+) -> WalkRecord
+where
+    F: EvaluatorFactory,
+{
+    let seed = seeds.seed_of(walk_id);
+    if let Some(sink) = sink {
+        sink.record(&WalkEvent::Started { walk_id, seed });
+    }
+    let mut evaluator = factory.build();
+    let mut rng = seeds.rng_of(walk_id);
+    let mut observer = WalkObserver { walk_id, sink };
+    let config = engine.config();
+    let outcome = engine.solve_observed(
+        &mut evaluator,
+        &mut rng,
+        stop,
+        None,
+        |restart| match &job.budget {
+            Some(budget) => budget(restart),
+            None => config.restart_budget(restart),
+        },
+        &mut observer,
+    );
+    if stop_on_first_success && outcome.solved() {
+        // Completion is the only message the walks ever exchange.
+        stop.request_stop();
+    }
+    if let Some(sink) = sink {
+        sink.record(&WalkEvent::Finished {
+            walk_id,
+            solved: outcome.solved(),
+            iterations: outcome.stats.iterations,
+            cost: outcome.best_cost,
+        });
+    }
+    WalkRecord {
+        walk_id,
+        label: job.label.clone(),
+        seed,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::EventLog;
+    use cbls_core::{Evaluator, TerminationReason};
+
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+    }
+
+    #[derive(Clone)]
+    struct Hopeless(usize);
+    impl Evaluator for Hopeless {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost(&self, _perm: &[usize]) -> i64 {
+            1
+        }
+        fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+            1
+        }
+    }
+
+    fn quick_search() -> SearchConfig {
+        SearchConfig::builder()
+            .max_iterations_per_restart(10_000)
+            .max_restarts(3)
+            .stop_check_interval(4)
+            .build()
+    }
+
+    fn outcome_with(walk_id: usize, solved: bool, elapsed_ms: u64) -> WalkRecord {
+        WalkRecord {
+            walk_id,
+            label: String::new(),
+            seed: walk_id as u64,
+            outcome: SearchOutcome {
+                reason: if solved {
+                    TerminationReason::Solved
+                } else {
+                    TerminationReason::IterationBudgetExhausted
+                },
+                best_cost: i64::from(!solved),
+                solution: Vec::new(),
+                stats: Default::default(),
+                elapsed: Duration::from_millis(elapsed_ms),
+            },
+        }
+    }
+
+    #[test]
+    fn select_winner_prefers_smallest_elapsed() {
+        let reports = vec![
+            outcome_with(0, true, 30),
+            outcome_with(1, true, 10),
+            outcome_with(2, false, 1),
+        ];
+        assert_eq!(select_winner(&reports), Some(1));
+    }
+
+    #[test]
+    fn select_winner_breaks_ties_by_walk_id() {
+        // identical elapsed times: the smaller walk id wins, whatever the
+        // report order
+        let reports = vec![
+            outcome_with(2, true, 10),
+            outcome_with(0, false, 10),
+            outcome_with(1, true, 10),
+            outcome_with(3, true, 10),
+        ];
+        assert_eq!(select_winner(&reports), Some(1));
+    }
+
+    #[test]
+    fn select_winner_of_no_solved_walk_is_none() {
+        let reports = vec![outcome_with(0, false, 5), outcome_with(1, false, 6)];
+        assert_eq!(select_winner(&reports), None);
+        assert_eq!(select_winner::<WalkRecord>(&[]), None);
+    }
+
+    #[test]
+    fn run_batch_preserves_input_order_on_every_backend() {
+        let items: Vec<usize> = (0..37).collect();
+        let work = |i: usize, item: usize| {
+            assert_eq!(i, item);
+            item * 2
+        };
+        let expected: Vec<usize> = (0..37).map(|i| i * 2).collect();
+        assert_eq!(ThreadsExecutor.run_batch(items.clone(), &work), expected);
+        assert_eq!(RayonExecutor.run_batch(items.clone(), &work), expected);
+        assert_eq!(SequentialExecutor.run_batch(items, &work), expected);
+        assert_eq!(ThreadsExecutor.name(), "threads");
+        assert_eq!(RayonExecutor.name(), "rayon");
+        assert_eq!(SequentialExecutor.name(), "sequential");
+    }
+
+    #[test]
+    fn all_backends_agree_on_a_run_to_completion_batch() {
+        let batch = WalkBatch::uniform(42, &quick_search(), 4).run_to_completion();
+        let factory = || Sort(20);
+        let seq = SequentialExecutor.execute(&factory, &batch);
+        let thr = ThreadsExecutor.execute(&factory, &batch);
+        let ray = RayonExecutor.execute(&factory, &batch);
+        // Per-walk trajectories are bit-identical across back-ends.  (The
+        // elapsed-based winner is only meaningful under first-finisher
+        // semantics: in a replay every walk runs to completion and the
+        // fastest wall-clock finisher depends on the scheduler.)
+        for other in [&thr, &ray] {
+            for (a, b) in seq.records.iter().zip(other.records.iter()) {
+                assert_eq!(a.walk_id, b.walk_id);
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.outcome.stats, b.outcome.stats);
+                assert_eq!(a.outcome.solution, b.outcome.solution);
+            }
+        }
+        assert!(seq.winning_record().unwrap().outcome.solved());
+    }
+
+    #[test]
+    fn telemetry_is_passive_and_complete() {
+        let batch = WalkBatch::uniform(7, &quick_search(), 3).run_to_completion();
+        let factory = || Sort(16);
+        let plain = SequentialExecutor.execute(&factory, &batch);
+        let log = EventLog::new();
+        let observed = SequentialExecutor.execute_with_telemetry(&factory, &batch, &log);
+
+        // bit-identical records with and without the sink
+        for (a, b) in plain.records.iter().zip(observed.records.iter()) {
+            assert_eq!(a.outcome.stats, b.outcome.stats);
+            assert_eq!(a.outcome.solution, b.outcome.solution);
+        }
+
+        // every walk contributes exactly one Started and one Finished event,
+        // bracketing its Restarted/ImprovedCost events
+        for record in &observed.records {
+            let events = log.events_of(record.walk_id);
+            assert!(
+                matches!(events.first(), Some(WalkEvent::Started { seed, .. }) if *seed == record.seed)
+            );
+            match events.last() {
+                Some(WalkEvent::Finished {
+                    solved,
+                    iterations,
+                    cost,
+                    ..
+                }) => {
+                    assert_eq!(*solved, record.outcome.solved());
+                    assert_eq!(*iterations, record.outcome.stats.iterations);
+                    assert_eq!(*cost, record.outcome.best_cost);
+                }
+                other => panic!("last event must be Finished, got {other:?}"),
+            }
+            let improvements: Vec<i64> = events
+                .iter()
+                .filter_map(|e| match e {
+                    WalkEvent::ImprovedCost { cost, .. } => Some(*cost),
+                    _ => None,
+                })
+                .collect();
+            assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+            assert_eq!(*improvements.last().unwrap(), record.outcome.best_cost);
+        }
+    }
+
+    #[test]
+    fn deadline_cancels_every_backend() {
+        let search = SearchConfig::builder()
+            .max_iterations_per_restart(u64::MAX / 8)
+            .max_restarts(0)
+            .stop_check_interval(1)
+            .build();
+        let batch = WalkBatch::uniform(3, &search, 2).with_timeout(Duration::from_millis(20));
+        let factory = || Hopeless(8);
+        for (name, exec) in [
+            ("threads", ThreadsExecutor.execute(&factory, &batch)),
+            ("rayon", RayonExecutor.execute(&factory, &batch)),
+            ("sequential", SequentialExecutor.execute(&factory, &batch)),
+        ] {
+            assert_eq!(exec.winner, None, "{name}: timed-out run has no winner");
+            assert!(exec
+                .records
+                .iter()
+                .all(|r| r.outcome.reason == TerminationReason::TimedOut));
+        }
+    }
+
+    #[test]
+    fn scheduled_jobs_drive_the_restart_loop() {
+        // A hopeless job with an explicit budget schedule consumes exactly
+        // the scheduled slices (same contract as solve_scheduled).
+        let search = SearchConfig::default();
+        let job = WalkJob::new(search)
+            .with_label("sliced")
+            .with_budget(|r| [7u64, 11, 13].get(r as usize).copied());
+        let batch = WalkBatch::new(WalkSeeds::new(17), vec![job]);
+        let exec = SequentialExecutor.execute(&|| Hopeless(8), &batch);
+        assert_eq!(exec.winner, None);
+        assert_eq!(exec.records[0].label, "sliced");
+        assert_eq!(exec.records[0].outcome.stats.iterations, 7 + 11 + 13);
+        assert_eq!(exec.records[0].outcome.stats.restarts, 2);
+    }
+
+    #[test]
+    fn batch_accessors_report_the_configuration() {
+        let batch =
+            WalkBatch::uniform(5, &SearchConfig::default(), 3).with_timeout(Duration::from_secs(1));
+        assert_eq!(batch.walks(), 3);
+        assert_eq!(batch.jobs().len(), 3);
+        assert_eq!(batch.seeds(), WalkSeeds::new(5));
+        assert_eq!(batch.timeout(), Some(Duration::from_secs(1)));
+        assert!(batch.stops_on_first_success());
+        assert!(!batch.clone().run_to_completion().stops_on_first_success());
+        let debug = format!("{:?}", batch.jobs()[0]);
+        assert!(debug.contains("WalkJob"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn empty_batch_is_rejected() {
+        let _ = WalkBatch::new(WalkSeeds::new(1), Vec::new());
+    }
+}

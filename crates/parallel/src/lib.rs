@@ -6,17 +6,28 @@
 //! walk as soon as one of them finds a solution ("no communication between
 //! the simultaneous computations except for completion").
 //!
-//! Three execution back-ends are provided:
+//! All execution flows through one layer — the [`executor`] module: a
+//! [`WalkJob`] describes one walk, a [`WalkBatch`] bundles jobs with their
+//! [`WalkSeeds`] family, stop semantics and an optional deadline, and a
+//! [`WalkExecutor`] back-end decides where the walks run:
 //!
-//! * [`run_threads`] — one OS thread per walk with a shared atomic stop flag,
-//!   the closest analogue of the paper's one-MPI-process-per-core setup;
-//! * [`run_rayon`] — the same semantics on a bounded rayon pool, for running
-//!   hundreds of logical walks on a handful of physical cores;
-//! * [`SimulatedMultiWalk`] — a deterministic sequential replay of `p` walks
-//!   that reports the *iteration count* the parallel run would have needed
-//!   (the minimum over walks).  This is the back-end the figure harness uses:
-//!   it is exact for independent walks (no communication exists to perturb
-//!   it), it is reproducible, and it does not require a 256-core machine.
+//! * [`ThreadsExecutor`] — one OS thread per walk with a shared atomic stop
+//!   flag, the closest analogue of the paper's one-MPI-process-per-core
+//!   setup;
+//! * [`RayonExecutor`] — the same semantics on a bounded rayon pool, for
+//!   running hundreds of logical walks on a handful of physical cores;
+//! * [`SequentialExecutor`] — the deterministic replay back-end (one walk
+//!   after another on the calling thread).
+//!
+//! The public entry points are thin adapters over that layer: [`run_threads`]
+//! / [`run_rayon`] for the paper's flat scheme, [`SimulatedMultiWalk`] for
+//! the replay that reports the *iteration count* a parallel run would have
+//! needed (the minimum over walks — exact for independent walks, reproducible
+//! and 256-core-free, which is why the figure harness uses it), and the
+//! heterogeneous portfolio runners of `cbls-portfolio`.  Every batch can emit
+//! a [`WalkEvent`] telemetry stream ([`telemetry`]) consumed online, e.g. by
+//! a [`DistributionSink`] feeding `cbls-perfmodel`'s order-statistics
+//! machinery.
 //!
 //! The crate also contains the paper's "future work" — a *dependent*
 //! multi-walk scheme with periodic exchange of elite configurations
@@ -26,11 +37,20 @@
 #![warn(missing_docs)]
 
 pub mod dependent;
+pub mod executor;
 mod multiwalk;
 mod seeds;
 mod simulate;
 pub mod speedup;
+pub mod telemetry;
 
-pub use multiwalk::{run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, WalkReport};
+pub use executor::{
+    select_winner, BatchExecution, RayonExecutor, SequentialExecutor, ThreadsExecutor, WalkBatch,
+    WalkBudget, WalkExecutor, WalkJob, WalkOutcome, WalkRecord,
+};
+pub use multiwalk::{
+    run_multiwalk, run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, WalkReport,
+};
 pub use seeds::WalkSeeds;
 pub use simulate::{SimulatedMultiWalk, SimulatedRun};
+pub use telemetry::{CountingSink, DistributionSink, EventLog, EventSink, WalkEvent};

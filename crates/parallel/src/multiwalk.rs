@@ -3,19 +3,25 @@
 //! [`run_threads`] spawns one OS thread per walk; [`run_rayon`] schedules the
 //! walks on a rayon pool (useful when the number of logical walks exceeds the
 //! number of physical cores).  In both cases the walks share nothing but a
-//! [`StopControl`] flag: the first walk that reaches the target cost raises
-//! the flag and every other walk stops at its next poll — exactly the
-//! termination-only communication of the paper's scheme.
+//! stop flag: the first walk that reaches the target cost raises the flag and
+//! every other walk stops at its next poll — exactly the termination-only
+//! communication of the paper's scheme.
+//!
+//! Both functions (and [`run_multiwalk`], the generic entry point taking any
+//! [`WalkExecutor`] plus an optional telemetry sink) are thin adapters over
+//! the [`executor`](crate::executor) layer, which owns the seed derivation,
+//! deadline handling, stop semantics and winner selection.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use cbls_core::{
-    AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl, Summary,
-};
-use rayon::prelude::*;
+use cbls_core::{EvaluatorFactory, SearchConfig, SearchOutcome, Summary};
 use serde::{Deserialize, Serialize};
 
+use crate::executor::{
+    select_winner, RayonExecutor, ThreadsExecutor, WalkBatch, WalkExecutor, WalkJob, WalkOutcome,
+};
 use crate::seeds::WalkSeeds;
+use crate::telemetry::EventSink;
 
 /// Parameters of a multi-walk run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -130,38 +136,63 @@ impl MultiWalkResult {
     }
 }
 
-fn resolve_winner(reports: &[WalkReport]) -> Option<usize> {
-    // The "first finisher" in wall-clock terms is the solved walk with the
-    // smallest elapsed time; using the recorded elapsed time (rather than
-    // arrival order) keeps the choice deterministic across schedulers.
-    reports
-        .iter()
-        .filter(|r| r.outcome.solved())
-        .min_by_key(|r| (r.outcome.elapsed, r.walk_id))
-        .map(|r| r.walk_id)
+impl WalkOutcome for WalkReport {
+    fn walk_id(&self) -> usize {
+        self.walk_id
+    }
+    fn outcome(&self) -> &SearchOutcome {
+        &self.outcome
+    }
 }
 
-fn run_single_walk<F>(
+/// The walk batch a [`MultiWalkConfig`] describes: `walks` identical jobs
+/// under first-finisher stop semantics.  (`WalkBatch::new` rejects an empty
+/// job list, so `walks == 0` panics there.)
+fn batch_of(config: &MultiWalkConfig) -> WalkBatch {
+    let jobs = (0..config.walks)
+        .map(|_| WalkJob::new(config.search.clone()))
+        .collect();
+    let batch = WalkBatch::new(WalkSeeds::new(config.master_seed), jobs);
+    match config.timeout {
+        Some(timeout) => batch.with_timeout(timeout),
+        None => batch,
+    }
+}
+
+/// Run `config.walks` independent walks on any [`WalkExecutor`] back-end,
+/// optionally emitting [`WalkEvent`](crate::WalkEvent) telemetry to `sink`.
+///
+/// [`run_threads`] and [`run_rayon`] are shorthands for the two true-parallel
+/// back-ends without telemetry; the per-walk trajectories are bit-identical
+/// whatever the back-end and whether or not a sink is attached.
+pub fn run_multiwalk<X, F>(
     factory: &F,
-    engine: &AdaptiveSearch,
-    seeds: &WalkSeeds,
-    stop: &StopControl,
-    walk_id: usize,
-) -> WalkReport
+    config: &MultiWalkConfig,
+    executor: &X,
+    sink: Option<&dyn EventSink>,
+) -> MultiWalkResult
 where
+    X: WalkExecutor,
     F: EvaluatorFactory,
 {
-    let mut evaluator = factory.build();
-    let mut rng = seeds.rng_of(walk_id);
-    let outcome = engine.solve_with_stop(&mut evaluator, &mut rng, stop);
-    if outcome.solved() {
-        // Completion is the only message the walks ever exchange.
-        stop.request_stop();
-    }
-    WalkReport {
-        walk_id,
-        seed: seeds.seed_of(walk_id),
-        outcome,
+    let batch = batch_of(config);
+    let execution = match sink {
+        Some(sink) => executor.execute_with_telemetry(factory, &batch, sink),
+        None => executor.execute(factory, &batch),
+    };
+    let reports: Vec<WalkReport> = execution
+        .records
+        .into_iter()
+        .map(|r| WalkReport {
+            walk_id: r.walk_id,
+            seed: r.seed,
+            outcome: r.outcome,
+        })
+        .collect();
+    MultiWalkResult {
+        winner: select_winner(&reports),
+        reports,
+        wall_time: execution.wall_time,
     }
 }
 
@@ -173,36 +204,7 @@ pub fn run_threads<F>(factory: &F, config: &MultiWalkConfig) -> MultiWalkResult
 where
     F: EvaluatorFactory,
 {
-    assert!(config.walks > 0, "a multi-walk run needs at least one walk");
-    let started = Instant::now();
-    let engine = AdaptiveSearch::new(config.search.clone());
-    let seeds = WalkSeeds::new(config.master_seed);
-    let stop = match config.timeout {
-        Some(t) => StopControl::with_timeout(t),
-        None => StopControl::new(),
-    };
-
-    let mut reports: Vec<WalkReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.walks)
-            .map(|walk_id| {
-                let engine = &engine;
-                let seeds = &seeds;
-                let stop = &stop;
-                scope.spawn(move || run_single_walk(factory, engine, seeds, stop, walk_id))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("walk thread panicked"))
-            .collect()
-    });
-    reports.sort_by_key(|r| r.walk_id);
-
-    MultiWalkResult {
-        winner: resolve_winner(&reports),
-        reports,
-        wall_time: started.elapsed(),
-    }
+    run_multiwalk(factory, config, &ThreadsExecutor, None)
 }
 
 /// Run `config.walks` independent walks on the global rayon pool.
@@ -210,32 +212,16 @@ pub fn run_rayon<F>(factory: &F, config: &MultiWalkConfig) -> MultiWalkResult
 where
     F: EvaluatorFactory,
 {
-    assert!(config.walks > 0, "a multi-walk run needs at least one walk");
-    let started = Instant::now();
-    let engine = AdaptiveSearch::new(config.search.clone());
-    let seeds = WalkSeeds::new(config.master_seed);
-    let stop = match config.timeout {
-        Some(t) => StopControl::with_timeout(t),
-        None => StopControl::new(),
-    };
-
-    let mut reports: Vec<WalkReport> = (0..config.walks)
-        .into_par_iter()
-        .map(|walk_id| run_single_walk(factory, &engine, &seeds, &stop, walk_id))
-        .collect();
-    reports.sort_by_key(|r| r.walk_id);
-
-    MultiWalkResult {
-        winner: resolve_winner(&reports),
-        reports,
-        wall_time: started.elapsed(),
-    }
+    run_multiwalk(factory, config, &RayonExecutor, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbls_core::Evaluator;
+    use crate::executor::SequentialExecutor;
+    use crate::telemetry::DistributionSink;
+    use cbls_core::{AdaptiveSearch, Evaluator};
+    use std::time::Instant;
 
     /// Cost = number of misplaced values; solvable by every walk quickly.
     #[derive(Clone)]
@@ -385,5 +371,28 @@ mod tests {
     fn default_master_seed_is_used_by_new() {
         let cfg = MultiWalkConfig::new(3);
         assert_eq!(cfg.master_seed, MultiWalkConfig::DEFAULT_MASTER_SEED);
+    }
+
+    #[test]
+    fn generic_entry_point_matches_shorthands_and_records_online() {
+        let cfg = quick_config(3);
+        let threads = run_threads(&|| Sort(16), &cfg);
+        let sink = DistributionSink::new();
+        let sequential = run_multiwalk(&|| Sort(16), &cfg, &SequentialExecutor, Some(&sink));
+        assert_eq!(threads.reports.len(), sequential.reports.len());
+        for (a, b) in threads.reports.iter().zip(sequential.reports.iter()) {
+            assert_eq!(a.seed, b.seed);
+            if a.outcome.solved() && b.outcome.solved() {
+                assert_eq!(a.outcome.stats.iterations, b.outcome.stats.iterations);
+            }
+        }
+        // the sink observed exactly the solved walks' iteration counts, as
+        // they finished — no post-hoc pass over the reports needed
+        let solved = sequential
+            .reports
+            .iter()
+            .filter(|r| r.outcome.solved())
+            .count();
+        assert_eq!(sink.len(), solved);
     }
 }

@@ -14,11 +14,10 @@
 //! walks` — this is what makes sweeping 16..256 "cores" tractable on a
 //! laptop.
 
-use cbls_core::{AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl};
-use rayon::prelude::*;
+use cbls_core::{EvaluatorFactory, SearchConfig, SearchOutcome};
 use serde::{Deserialize, Serialize};
 
-use crate::seeds::WalkSeeds;
+use crate::executor::{RayonExecutor, SequentialExecutor, WalkBatch, WalkExecutor};
 
 /// One replayed walk: its seed and its full outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,13 +43,7 @@ impl SimulatedMultiWalk {
     where
         F: EvaluatorFactory,
     {
-        assert!(walks > 0, "a replay needs at least one walk");
-        let engine = AdaptiveSearch::new(search.clone());
-        let seeds = WalkSeeds::new(master_seed);
-        let runs = (0..walks)
-            .map(|walk_id| Self::one_walk(factory, &engine, &seeds, walk_id))
-            .collect();
-        Self { master_seed, runs }
+        Self::replay_on(factory, search, master_seed, walks, &SequentialExecutor)
     }
 
     /// Replay `walks` walks using the rayon pool to speed up the replay
@@ -65,33 +58,37 @@ impl SimulatedMultiWalk {
     where
         F: EvaluatorFactory,
     {
-        assert!(walks > 0, "a replay needs at least one walk");
-        let engine = AdaptiveSearch::new(search.clone());
-        let seeds = WalkSeeds::new(master_seed);
-        let runs: Vec<SimulatedRun> = (0..walks)
-            .into_par_iter()
-            .map(|walk_id| Self::one_walk(factory, &engine, &seeds, walk_id))
-            .collect();
-        Self { master_seed, runs }
+        Self::replay_on(factory, search, master_seed, walks, &RayonExecutor)
     }
 
-    fn one_walk<F>(
+    /// Replay `walks` walks on any [`WalkExecutor`] back-end.  Every walk
+    /// runs to completion (no walk is interrupted by a sibling's success),
+    /// so the replay is the same on every back-end — only the wall-clock
+    /// time of the replay itself differs.
+    pub fn replay_on<X, F>(
         factory: &F,
-        engine: &AdaptiveSearch,
-        seeds: &WalkSeeds,
-        walk_id: usize,
-    ) -> SimulatedRun
+        search: &SearchConfig,
+        master_seed: u64,
+        walks: usize,
+        executor: &X,
+    ) -> Self
     where
+        X: WalkExecutor,
         F: EvaluatorFactory,
     {
-        let mut evaluator = factory.build();
-        let mut rng = seeds.rng_of(walk_id);
-        let outcome = engine.solve_with_stop(&mut evaluator, &mut rng, &StopControl::new());
-        SimulatedRun {
-            walk_id,
-            seed: seeds.seed_of(walk_id),
-            outcome,
-        }
+        assert!(walks > 0, "a replay needs at least one walk");
+        let batch = WalkBatch::uniform(master_seed, search, walks).run_to_completion();
+        let runs = executor
+            .execute(factory, &batch)
+            .records
+            .into_iter()
+            .map(|r| SimulatedRun {
+                walk_id: r.walk_id,
+                seed: r.seed,
+                outcome: r.outcome,
+            })
+            .collect();
+        Self { master_seed, runs }
     }
 
     /// The master seed of the replay.

@@ -1,0 +1,452 @@
+//! Walk-level event telemetry.
+//!
+//! Every batch run through a [`WalkExecutor`](crate::WalkExecutor) can emit a
+//! live stream of [`WalkEvent`]s — one `Started` and one `Finished` per walk,
+//! plus `Restarted` / `ImprovedCost` events forwarded from the engine's
+//! [`SearchObserver`](cbls_core::SearchObserver) hooks.  Consumers implement
+//! [`EventSink`]; three sinks ship with the crate:
+//!
+//! * [`EventLog`] — collects every event (ordered per walk, interleaved
+//!   across walks in arrival order);
+//! * [`DistributionSink`] — feeds each solved walk's iterations-to-solution
+//!   into a [`DistributionAccumulator`] *online*, as walks finish, so the
+//!   order-statistics speedup predictor of `cbls-perfmodel` no longer needs a
+//!   post-hoc pass over the reports;
+//! * [`CountingSink`] — counts events and nothing else (used by the
+//!   throughput harness to measure the telemetry overhead).
+//!
+//! The event contract (also documented in the README):
+//!
+//! | event          | fired                                             |
+//! |----------------|---------------------------------------------------|
+//! | `Started`      | once per walk, before its first iteration         |
+//! | `Restarted`    | once per engine restart (1-based index)           |
+//! | `ImprovedCost` | once per strict improvement of the walk's best    |
+//! | `Finished`     | once per walk, after its outcome is known         |
+//!
+//! Telemetry is passive: a run with any sink attached is bit-identical (same
+//! winner, same iteration counts, same RNG streams) to the same run without.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cbls_perfmodel::DistributionAccumulator;
+use serde::{Deserialize, Serialize};
+
+/// One telemetry event of a multi-walk batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkEvent {
+    /// A walk is about to perform its first iteration.
+    Started {
+        /// Walk index within the batch.
+        walk_id: usize,
+        /// The walk's derived 64-bit seed.
+        seed: u64,
+    },
+    /// A walk's engine began restart `restart` (1-based; the initial try is
+    /// covered by `Started`).
+    Restarted {
+        /// Walk index within the batch.
+        walk_id: usize,
+        /// 1-based restart index.
+        restart: u64,
+    },
+    /// A walk strictly improved its best cost.
+    ImprovedCost {
+        /// Walk index within the batch.
+        walk_id: usize,
+        /// Engine iterations performed when the improvement was reached.
+        iteration: u64,
+        /// The new best cost.
+        cost: i64,
+    },
+    /// A walk finished (solved, budget exhausted, stopped or timed out).
+    Finished {
+        /// Walk index within the batch.
+        walk_id: usize,
+        /// Whether the walk reached its target cost.
+        solved: bool,
+        /// Total engine iterations the walk performed.
+        iterations: u64,
+        /// The walk's final best cost.
+        cost: i64,
+    },
+}
+
+impl WalkEvent {
+    /// The walk this event belongs to.
+    #[must_use]
+    pub fn walk_id(&self) -> usize {
+        match self {
+            WalkEvent::Started { walk_id, .. }
+            | WalkEvent::Restarted { walk_id, .. }
+            | WalkEvent::ImprovedCost { walk_id, .. }
+            | WalkEvent::Finished { walk_id, .. } => *walk_id,
+        }
+    }
+}
+
+/// A consumer of [`WalkEvent`]s.
+///
+/// Sinks are shared by every walk of a batch, possibly across threads, so
+/// recording takes `&self` and implementations must be `Sync` (interior
+/// mutability where state is kept).  Events from one walk arrive in order;
+/// events from different walks interleave in wall-clock arrival order.
+pub trait EventSink: Sync {
+    /// Consume one event.
+    fn record(&self, event: &WalkEvent);
+}
+
+/// A sink that remembers every event it sees.
+///
+/// ```
+/// use cbls_parallel::{EventLog, EventSink, WalkEvent};
+///
+/// let log = EventLog::new();
+/// log.record(&WalkEvent::Started { walk_id: 0, seed: 42 });
+/// log.record(&WalkEvent::Finished { walk_id: 0, solved: true, iterations: 7, cost: 0 });
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.events_of(0).len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<WalkEvent>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether no event has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of every recorded event, in arrival order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<WalkEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// The events of one walk, in the order the walk emitted them.
+    #[must_use]
+    pub fn events_of(&self, walk_id: usize) -> Vec<WalkEvent> {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .filter(|e| e.walk_id() == walk_id)
+            .copied()
+            .collect()
+    }
+
+    /// Consume the log, returning every recorded event in arrival order.
+    #[must_use]
+    pub fn into_events(self) -> Vec<WalkEvent> {
+        self.events.into_inner().expect("event log poisoned")
+    }
+}
+
+impl EventSink for EventLog {
+    fn record(&self, event: &WalkEvent) {
+        self.events.lock().expect("event log poisoned").push(*event);
+    }
+}
+
+/// A sink that feeds every solved walk's iterations-to-solution into a
+/// [`DistributionAccumulator`] as `Finished` events arrive — the online
+/// replacement for the post-hoc `record_iterations` pass over a result's
+/// reports.
+#[derive(Debug, Default)]
+pub struct DistributionSink {
+    acc: Mutex<DistributionAccumulator>,
+}
+
+impl DistributionSink {
+    /// A sink recording into a fresh accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that continues recording into an existing accumulator (online
+    /// pooling across successive solve requests).
+    #[must_use]
+    pub fn continuing(acc: DistributionAccumulator) -> Self {
+        Self {
+            acc: Mutex::new(acc),
+        }
+    }
+
+    /// Number of observations recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.acc.lock().expect("distribution sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the accumulator.
+    #[must_use]
+    pub fn accumulator(&self) -> DistributionAccumulator {
+        self.acc.lock().expect("distribution sink poisoned").clone()
+    }
+
+    /// Consume the sink, returning the accumulator.
+    #[must_use]
+    pub fn into_accumulator(self) -> DistributionAccumulator {
+        self.acc.into_inner().expect("distribution sink poisoned")
+    }
+}
+
+impl EventSink for DistributionSink {
+    fn record(&self, event: &WalkEvent) {
+        if let WalkEvent::Finished {
+            solved: true,
+            iterations,
+            ..
+        } = event
+        {
+            self.acc
+                .lock()
+                .expect("distribution sink poisoned")
+                .record_count(*iterations);
+        }
+    }
+}
+
+/// A sink that counts events and discards them — the cheapest possible
+/// consumer, used by the throughput harness to price the telemetry stream
+/// itself.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: AtomicU64,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events seen so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for CountingSink {
+    fn record(&self, _event: &WalkEvent) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The engine-side observer of one walk: forwards
+/// [`SearchObserver`](cbls_core::SearchObserver) hooks to the batch's sink as
+/// [`WalkEvent`]s.  With no sink attached every hook is a skipped branch, so
+/// unobserved batches pay nothing on the engine's cold edges.
+pub(crate) struct WalkObserver<'a> {
+    pub(crate) walk_id: usize,
+    pub(crate) sink: Option<&'a dyn EventSink>,
+}
+
+impl cbls_core::SearchObserver for WalkObserver<'_> {
+    fn on_restart(&mut self, restart: u64) {
+        if let Some(sink) = self.sink {
+            sink.record(&WalkEvent::Restarted {
+                walk_id: self.walk_id,
+                restart,
+            });
+        }
+    }
+
+    fn on_improvement(&mut self, iteration: u64, cost: i64) {
+        if let Some(sink) = self.sink {
+            sink.record(&WalkEvent::ImprovedCost {
+                walk_id: self.walk_id,
+                iteration,
+                cost,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_orders_and_filters_by_walk() {
+        let log = EventLog::new();
+        log.record(&WalkEvent::Started {
+            walk_id: 1,
+            seed: 9,
+        });
+        log.record(&WalkEvent::Started {
+            walk_id: 0,
+            seed: 3,
+        });
+        log.record(&WalkEvent::ImprovedCost {
+            walk_id: 1,
+            iteration: 4,
+            cost: 2,
+        });
+        log.record(&WalkEvent::Finished {
+            walk_id: 1,
+            solved: true,
+            iterations: 10,
+            cost: 0,
+        });
+        assert_eq!(log.len(), 4);
+        assert!(!log.is_empty());
+        let walk1 = log.events_of(1);
+        assert_eq!(walk1.len(), 3);
+        assert_eq!(
+            walk1[0],
+            WalkEvent::Started {
+                walk_id: 1,
+                seed: 9
+            }
+        );
+        assert_eq!(walk1[0].walk_id(), 1);
+        assert_eq!(log.events_of(2).len(), 0);
+        assert_eq!(log.into_events().len(), 4);
+    }
+
+    #[test]
+    fn distribution_sink_records_only_solved_finishes() {
+        let sink = DistributionSink::new();
+        assert!(sink.is_empty());
+        sink.record(&WalkEvent::Started {
+            walk_id: 0,
+            seed: 1,
+        });
+        sink.record(&WalkEvent::Finished {
+            walk_id: 0,
+            solved: true,
+            iterations: 120,
+            cost: 0,
+        });
+        sink.record(&WalkEvent::Finished {
+            walk_id: 1,
+            solved: false,
+            iterations: 999,
+            cost: 5,
+        });
+        sink.record(&WalkEvent::Finished {
+            walk_id: 2,
+            solved: true,
+            iterations: 80,
+            cost: 0,
+        });
+        assert_eq!(sink.len(), 2);
+        let acc = sink.into_accumulator();
+        assert_eq!(acc.observations(), &[120.0, 80.0]);
+    }
+
+    #[test]
+    fn distribution_sink_continues_an_existing_accumulator() {
+        let mut acc = DistributionAccumulator::new();
+        acc.record_count(50);
+        let sink = DistributionSink::continuing(acc);
+        sink.record(&WalkEvent::Finished {
+            walk_id: 0,
+            solved: true,
+            iterations: 70,
+            cost: 0,
+        });
+        assert_eq!(sink.accumulator().observations(), &[50.0, 70.0]);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let sink = CountingSink::new();
+        assert_eq!(sink.count(), 0);
+        for i in 0..5 {
+            sink.record(&WalkEvent::Started {
+                walk_id: i,
+                seed: i as u64,
+            });
+        }
+        assert_eq!(sink.count(), 5);
+    }
+
+    #[test]
+    fn walk_observer_forwards_to_the_sink() {
+        use cbls_core::SearchObserver;
+        let log = EventLog::new();
+        let mut obs = WalkObserver {
+            walk_id: 3,
+            sink: Some(&log),
+        };
+        obs.on_restart(1);
+        obs.on_improvement(17, 4);
+        let events = log.into_events();
+        assert_eq!(
+            events,
+            vec![
+                WalkEvent::Restarted {
+                    walk_id: 3,
+                    restart: 1
+                },
+                WalkEvent::ImprovedCost {
+                    walk_id: 3,
+                    iteration: 17,
+                    cost: 4
+                },
+            ]
+        );
+
+        // and with no sink attached the hooks are no-ops
+        let mut silent = WalkObserver {
+            walk_id: 0,
+            sink: None,
+        };
+        silent.on_restart(1);
+        silent.on_improvement(0, 0);
+    }
+
+    #[test]
+    fn walk_event_serde_round_trip() {
+        let events = vec![
+            WalkEvent::Started {
+                walk_id: 2,
+                seed: 7,
+            },
+            WalkEvent::Restarted {
+                walk_id: 2,
+                restart: 3,
+            },
+            WalkEvent::ImprovedCost {
+                walk_id: 2,
+                iteration: 11,
+                cost: -1,
+            },
+            WalkEvent::Finished {
+                walk_id: 2,
+                solved: false,
+                iterations: 40,
+                cost: 1,
+            },
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<WalkEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, back);
+    }
+}

@@ -12,9 +12,12 @@
 //!   [`AdaptiveSearch::solve_scheduled`](cbls_core::AdaptiveSearch::solve_scheduled);
 //! * [`Portfolio`] — heterogeneous multi-walk runs (walk index →
 //!   `(SearchConfig, Schedule)`), executed by [`run_portfolio_threads`],
-//!   [`run_portfolio_rayon`] or replayed deterministically by
-//!   [`SimulatedPortfolio`], with first-finisher stop-flag semantics
-//!   preserved and seeds derived through the same
+//!   [`run_portfolio_rayon`] (or [`run_portfolio`] on any
+//!   [`WalkExecutor`](cbls_parallel::WalkExecutor) back-end, with optional
+//!   [`WalkEvent`](cbls_parallel::WalkEvent) telemetry) or replayed
+//!   deterministically by [`SimulatedPortfolio`] — all thin adapters over
+//!   the executor layer of `cbls-parallel`, so first-finisher stop-flag
+//!   semantics are preserved and seeds derive through the same
 //!   [`WalkSeeds`](cbls_parallel::WalkSeeds) family as the flat runners;
 //! * [`AdaptiveScheduler`] — a bandit-style allocator that shifts walk
 //!   budget towards the strategies with the best observed tails across
@@ -70,7 +73,7 @@ mod simulate;
 pub use adaptive::{AdaptiveScheduler, StrategyStats};
 pub use portfolio::{Portfolio, PortfolioMember};
 pub use runner::{
-    run_portfolio_rayon, run_portfolio_threads, PortfolioResult, PortfolioWalkReport,
+    run_portfolio, run_portfolio_rayon, run_portfolio_threads, PortfolioResult, PortfolioWalkReport,
 };
 pub use schedule::{luby, RestartSchedule, Schedule};
 pub use simulate::{SimulatedPortfolio, SpeedupComparison};

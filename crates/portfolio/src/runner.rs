@@ -2,15 +2,24 @@
 //!
 //! [`run_portfolio_threads`] and [`run_portfolio_rayon`] mirror the flat
 //! multi-walk back-ends of `cbls-parallel` (`run_threads` / `run_rayon`):
-//! walks share nothing but a [`StopControl`] flag, the first walk to reach
-//! its target cost raises the flag, and every other walk stops at its next
-//! poll — first-finisher semantics preserved, strategies heterogeneous.
+//! walks share nothing but a stop flag, the first walk to reach its target
+//! cost raises the flag, and every other walk stops at its next poll —
+//! first-finisher semantics preserved, strategies heterogeneous.
+//!
+//! Like the flat runners, both functions (and [`run_portfolio`], the generic
+//! entry point taking any [`WalkExecutor`] and an optional telemetry sink)
+//! are thin adapters over the executor layer of `cbls-parallel`: a portfolio
+//! is exactly a [`WalkBatch`] whose jobs carry per-member engine
+//! configurations and restart schedules.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use cbls_core::{AdaptiveSearch, EvaluatorFactory, SearchOutcome, StopControl};
+use cbls_core::{EvaluatorFactory, SearchOutcome};
+use cbls_parallel::{
+    select_winner, EventSink, RayonExecutor, ThreadsExecutor, WalkBatch, WalkExecutor, WalkJob,
+    WalkOutcome,
+};
 use cbls_perfmodel::DistributionAccumulator;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::portfolio::Portfolio;
@@ -92,50 +101,71 @@ impl PortfolioResult {
     }
 }
 
-pub(crate) fn resolve_winner(reports: &[PortfolioWalkReport]) -> Option<usize> {
-    // Same convention as the flat multi-walk runner: the "first finisher" is
-    // the solved walk with the smallest recorded elapsed time, which keeps
-    // the choice deterministic across schedulers.
-    reports
-        .iter()
-        .filter(|r| r.outcome.solved())
-        .min_by_key(|r| (r.outcome.elapsed, r.walk_id))
-        .map(|r| r.walk_id)
+impl WalkOutcome for PortfolioWalkReport {
+    fn walk_id(&self) -> usize {
+        self.walk_id
+    }
+    fn outcome(&self) -> &SearchOutcome {
+        &self.outcome
+    }
 }
 
-pub(crate) fn run_single_walk<F>(
+/// The walk batch a [`Portfolio`] describes: one job per member, carrying
+/// the member's engine configuration, restart schedule and label, under
+/// first-finisher stop semantics.  Seeds come from the portfolio's
+/// [`WalkSeeds`](cbls_parallel::WalkSeeds) family, so walk `i` draws exactly
+/// the stream a flat multi-walk run with the same master seed would draw.
+pub(crate) fn batch_of(portfolio: &Portfolio) -> WalkBatch {
+    let jobs = portfolio
+        .members()
+        .iter()
+        .map(|member| {
+            let schedule = member.schedule;
+            WalkJob::new(member.search.clone())
+                .with_label(member.label.clone())
+                .with_budget(move |restart| schedule.budget(restart))
+        })
+        .collect();
+    let batch = WalkBatch::new(portfolio.seeds(), jobs);
+    match portfolio.timeout() {
+        Some(timeout) => batch.with_timeout(timeout),
+        None => batch,
+    }
+}
+
+/// Run the portfolio on any [`WalkExecutor`] back-end, optionally emitting
+/// [`WalkEvent`](cbls_parallel::WalkEvent) telemetry to `sink` (e.g. a
+/// [`DistributionSink`](cbls_parallel::DistributionSink) feeding the
+/// order-statistics predictor online, as walks finish).
+pub fn run_portfolio<X, F>(
     factory: &F,
     portfolio: &Portfolio,
-    stop: &StopControl,
-    walk_id: usize,
-) -> PortfolioWalkReport
+    executor: &X,
+    sink: Option<&dyn EventSink>,
+) -> PortfolioResult
 where
+    X: WalkExecutor,
     F: EvaluatorFactory,
 {
-    let member = portfolio.member_of(walk_id);
-    let engine = AdaptiveSearch::new(member.search.clone());
-    let seeds = portfolio.seeds();
-    let mut evaluator = factory.build();
-    let mut rng = seeds.rng_of(walk_id);
-    let outcome = engine.solve_scheduled(&mut evaluator, &mut rng, stop, |r| {
-        member.schedule.budget(r)
-    });
-    if outcome.solved() {
-        // Completion is the only message the walks ever exchange.
-        stop.request_stop();
-    }
-    PortfolioWalkReport {
-        walk_id,
-        member_label: member.label.clone(),
-        seed: seeds.seed_of(walk_id),
-        outcome,
-    }
-}
-
-fn stop_of(portfolio: &Portfolio) -> StopControl {
-    match portfolio.timeout() {
-        Some(t) => StopControl::with_timeout(t),
-        None => StopControl::new(),
+    let batch = batch_of(portfolio);
+    let execution = match sink {
+        Some(sink) => executor.execute_with_telemetry(factory, &batch, sink),
+        None => executor.execute(factory, &batch),
+    };
+    let reports: Vec<PortfolioWalkReport> = execution
+        .records
+        .into_iter()
+        .map(|r| PortfolioWalkReport {
+            walk_id: r.walk_id,
+            member_label: r.label,
+            seed: r.seed,
+            outcome: r.outcome,
+        })
+        .collect();
+    PortfolioResult {
+        winner: select_winner(&reports),
+        reports,
+        wall_time: execution.wall_time,
     }
 }
 
@@ -144,28 +174,7 @@ pub fn run_portfolio_threads<F>(factory: &F, portfolio: &Portfolio) -> Portfolio
 where
     F: EvaluatorFactory,
 {
-    let started = Instant::now();
-    let stop = stop_of(portfolio);
-
-    let mut reports: Vec<PortfolioWalkReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..portfolio.walks())
-            .map(|walk_id| {
-                let stop = &stop;
-                scope.spawn(move || run_single_walk(factory, portfolio, stop, walk_id))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("portfolio walk thread panicked"))
-            .collect()
-    });
-    reports.sort_by_key(|r| r.walk_id);
-
-    PortfolioResult {
-        winner: resolve_winner(&reports),
-        reports,
-        wall_time: started.elapsed(),
-    }
+    run_portfolio(factory, portfolio, &ThreadsExecutor, None)
 }
 
 /// Run the portfolio on the global rayon pool (for walk counts above the
@@ -174,20 +183,7 @@ pub fn run_portfolio_rayon<F>(factory: &F, portfolio: &Portfolio) -> PortfolioRe
 where
     F: EvaluatorFactory,
 {
-    let started = Instant::now();
-    let stop = stop_of(portfolio);
-
-    let mut reports: Vec<PortfolioWalkReport> = (0..portfolio.walks())
-        .into_par_iter()
-        .map(|walk_id| run_single_walk(factory, portfolio, &stop, walk_id))
-        .collect();
-    reports.sort_by_key(|r| r.walk_id);
-
-    PortfolioResult {
-        winner: resolve_winner(&reports),
-        reports,
-        wall_time: started.elapsed(),
-    }
+    run_portfolio(factory, portfolio, &RayonExecutor, None)
 }
 
 #[cfg(test)]
@@ -196,6 +192,8 @@ mod tests {
     use crate::portfolio::PortfolioMember;
     use crate::schedule::Schedule;
     use cbls_core::{Evaluator, SearchConfig};
+    use cbls_parallel::{DistributionSink, SequentialExecutor};
+    use std::time::Instant;
 
     #[derive(Clone)]
     struct Sort(usize);
@@ -302,6 +300,25 @@ mod tests {
         let result = run_portfolio_threads(&|| Hopeless(8), &portfolio);
         assert!(!result.solved());
         assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn generic_entry_point_records_online_as_walks_finish() {
+        let portfolio = mixed_portfolio(4);
+        let sink = DistributionSink::new();
+        let result = run_portfolio(&|| Sort(20), &portfolio, &SequentialExecutor, Some(&sink));
+        let solved = result.reports.iter().filter(|r| r.outcome.solved()).count();
+        assert!(result.solved());
+        // the online stream saw exactly what the post-hoc pass would record
+        let mut posthoc = DistributionAccumulator::new();
+        result.record_iterations(&mut posthoc);
+        let online = sink.into_accumulator();
+        assert_eq!(online.len(), solved);
+        let mut a = online.observations().to_vec();
+        let mut b = posthoc.observations().to_vec();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -10,14 +10,13 @@
 //! with the *observed* prefix minimum — the paper's speedup analysis run
 //! against empirical rather than fitted distributions.
 
-use cbls_core::{AdaptiveSearch, EvaluatorFactory, StopControl};
+use cbls_core::EvaluatorFactory;
+use cbls_parallel::{RayonExecutor, SequentialExecutor, WalkExecutor};
 use cbls_perfmodel::{DistributionAccumulator, EmpiricalDistribution};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::portfolio::Portfolio;
-use crate::runner::PortfolioWalkReport;
-use crate::schedule::RestartSchedule;
+use crate::runner::{batch_of, PortfolioWalkReport};
 
 /// A deterministic replay of every walk of a portfolio.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,13 +48,7 @@ impl SimulatedPortfolio {
     where
         F: EvaluatorFactory,
     {
-        let runs = (0..portfolio.walks())
-            .map(|walk_id| Self::one_walk(factory, portfolio, walk_id))
-            .collect();
-        Self {
-            master_seed: portfolio.master_seed(),
-            runs,
-        }
+        Self::replay_on(factory, portfolio, &SequentialExecutor)
     }
 
     /// Replay using the rayon pool to speed the replay itself up; the result
@@ -65,33 +58,32 @@ impl SimulatedPortfolio {
     where
         F: EvaluatorFactory,
     {
-        let runs: Vec<PortfolioWalkReport> = (0..portfolio.walks())
-            .into_par_iter()
-            .map(|walk_id| Self::one_walk(factory, portfolio, walk_id))
+        Self::replay_on(factory, portfolio, &RayonExecutor)
+    }
+
+    /// Replay the portfolio on any [`WalkExecutor`] back-end.  Every walk
+    /// runs to completion (no walk is interrupted by a sibling's success and
+    /// no timeout applies), so the replay is the same on every back-end.
+    pub fn replay_on<X, F>(factory: &F, portfolio: &Portfolio, executor: &X) -> Self
+    where
+        X: WalkExecutor,
+        F: EvaluatorFactory,
+    {
+        let batch = batch_of(portfolio).run_to_completion().without_timeout();
+        let runs = executor
+            .execute(factory, &batch)
+            .records
+            .into_iter()
+            .map(|r| PortfolioWalkReport {
+                walk_id: r.walk_id,
+                member_label: r.label,
+                seed: r.seed,
+                outcome: r.outcome,
+            })
             .collect();
         Self {
             master_seed: portfolio.master_seed(),
             runs,
-        }
-    }
-
-    fn one_walk<F>(factory: &F, portfolio: &Portfolio, walk_id: usize) -> PortfolioWalkReport
-    where
-        F: EvaluatorFactory,
-    {
-        let member = portfolio.member_of(walk_id);
-        let engine = AdaptiveSearch::new(member.search.clone());
-        let seeds = portfolio.seeds();
-        let mut evaluator = factory.build();
-        let mut rng = seeds.rng_of(walk_id);
-        let outcome = engine.solve_scheduled(&mut evaluator, &mut rng, &StopControl::new(), |r| {
-            member.schedule.budget(r)
-        });
-        PortfolioWalkReport {
-            walk_id,
-            member_label: member.label.clone(),
-            seed: seeds.seed_of(walk_id),
-            outcome,
         }
     }
 

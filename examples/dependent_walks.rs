@@ -17,29 +17,43 @@ fn main() {
 
     let search = Benchmark::CostasArray(order).tuned_config();
 
-    // Independent multi-walk (the paper's scheme).
+    // Independent multi-walk (the paper's scheme), run through the walk
+    // executor's threads back-end with the telemetry stream attached.
     let independent_config = MultiWalkConfig::new(walks)
         .with_master_seed(99)
         .with_search(search.clone());
-    let independent = run_threads(&|| CostasArray::new(order), &independent_config);
+    let log = EventLog::new();
+    let independent = run_multiwalk(
+        &|| CostasArray::new(order),
+        &independent_config,
+        &ThreadsExecutor,
+        Some(&log),
+    );
     println!(
-        "independent: solved {} | winner iterations {} | total iterations {} | wall {:?}",
+        "independent: solved {} | winner iterations {} | total iterations {} | wall {:?} | {} telemetry events",
         independent.solved(),
         independent
             .winning_iterations()
             .map_or_else(|| "-".to_string(), |i| i.to_string()),
         independent.total_iterations(),
-        independent.wall_time
+        independent.wall_time,
+        log.len(),
     );
 
     // Dependent multi-walk (the paper's future work, implemented in
-    // cbls-parallel::dependent).
+    // cbls-parallel::dependent).  The scheme is deterministic whatever the
+    // back-end, so the rayon pool here gives the same result as
+    // ThreadsExecutor or SequentialExecutor would.
     let dependent_config = DependentWalkConfig::new(walks)
         .with_master_seed(99)
         .with_search(search)
         .with_segment_iterations(2_000)
         .with_max_segments(200);
-    let dependent = run_dependent(&|| CostasArray::new(order), &dependent_config);
+    let dependent = run_dependent_on(
+        &|| CostasArray::new(order),
+        &dependent_config,
+        &RayonExecutor,
+    );
     println!(
         "dependent:   solved {} | best cost {} | segments {} | elite adoptions {} | total iterations {}",
         dependent.solved,

@@ -27,13 +27,27 @@ fn main() {
     let walks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
 
     // --- 1. a true parallel portfolio run, first finisher wins -------------
+    // The run goes through the walk executor's threads back-end with a
+    // DistributionSink attached: solved walks' iteration counts stream into
+    // the order-statistics accumulator online, as the walks finish.
     let portfolio = costas_portfolio(order, walks, 2012);
-    let result = run_portfolio_threads(&|| CostasArray::new(order), &portfolio);
+    let sink = DistributionSink::new();
+    let result = run_portfolio(
+        &|| CostasArray::new(order),
+        &portfolio,
+        &ThreadsExecutor,
+        Some(&sink),
+    );
     println!("Costas Array Problem, order {order} — {walks}-walk heterogeneous portfolio\n");
     match result.winning_report() {
         Some(report) => println!(
-            "solved by walk {} ({}) after {} iterations in {:.2?}\n",
-            report.walk_id, report.member_label, report.outcome.stats.iterations, result.wall_time
+            "solved by walk {} ({}) after {} iterations in {:.2?} \
+             ({} solved walks recorded online)\n",
+            report.walk_id,
+            report.member_label,
+            report.outcome.stats.iterations,
+            result.wall_time,
+            sink.len(),
         ),
         None => println!("no walk solved the instance within its schedule\n"),
     }

@@ -54,15 +54,18 @@ pub mod prelude {
         SearchOutcome, SearchStats, StopControl, Summary, TerminationReason,
     };
     pub use cbls_parallel::{
-        dependent::{run_dependent, DependentWalkConfig},
-        run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, SimulatedMultiWalk, WalkSeeds,
+        dependent::{run_dependent, run_dependent_on, DependentWalkConfig},
+        run_multiwalk, run_rayon, run_threads, select_winner, DistributionSink, EventLog,
+        EventSink, MultiWalkConfig, MultiWalkResult, RayonExecutor, SequentialExecutor,
+        SimulatedMultiWalk, ThreadsExecutor, WalkBatch, WalkEvent, WalkExecutor, WalkJob,
+        WalkOutcome, WalkSeeds,
     };
     pub use cbls_perfmodel::{
         DistributionAccumulator, EmpiricalDistribution, Platform, SpeedupModel,
     };
     pub use cbls_portfolio::{
-        run_portfolio_rayon, run_portfolio_threads, AdaptiveScheduler, Portfolio, PortfolioMember,
-        PortfolioResult, RestartSchedule, Schedule, SimulatedPortfolio,
+        run_portfolio, run_portfolio_rayon, run_portfolio_threads, AdaptiveScheduler, Portfolio,
+        PortfolioMember, PortfolioResult, RestartSchedule, Schedule, SimulatedPortfolio,
     };
     pub use cbls_problems::{
         AllInterval, AlphaCipher, Benchmark, CostasArray, Langford, MagicSquare, NQueens,

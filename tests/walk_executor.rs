@@ -1,0 +1,215 @@
+//! Integration tests of the walk-executor layer: deadline-aware
+//! cancellation on every back-end, and the telemetry event contract.
+
+use std::time::{Duration, Instant};
+
+use parallel_cbls::prelude::*;
+
+/// A search configuration that can never finish on its own within a test's
+/// lifetime (the evaluators below are satisfiable, so give the engine an
+/// absurd budget and rely on the deadline to stop it).
+fn endless_search() -> SearchConfig {
+    SearchConfig::builder()
+        .max_iterations_per_restart(u64::MAX / 8)
+        .max_restarts(0)
+        .stop_check_interval(1)
+        .target_cost(-1) // unreachable: walks can only stop via the deadline
+        .build()
+}
+
+/// Regression for the timeout unification: a timed-out multi-walk run
+/// reports `winner: None` — and `TimedOut` on every walk — on every
+/// back-end, because the timeout is one monotonic deadline inside
+/// `StopControl`, not per-runner `Instant` arithmetic.
+#[test]
+fn timed_out_multiwalk_reports_no_winner_on_every_backend() {
+    let config = MultiWalkConfig::new(3)
+        .with_master_seed(2012)
+        .with_search(endless_search())
+        .with_timeout(Duration::from_millis(30));
+    let factory = || CostasArray::new(10);
+    let started = Instant::now();
+    let backends = [
+        ("threads", run_threads(&factory, &config)),
+        ("rayon", run_rayon(&factory, &config)),
+        (
+            "sequential",
+            run_multiwalk(&factory, &config, &SequentialExecutor, None),
+        ),
+    ];
+    for (label, result) in backends {
+        assert_eq!(result.winner, None, "{label}: timed-out run has no winner");
+        assert!(!result.solved());
+        assert_eq!(result.reports.len(), 3);
+        for report in &result.reports {
+            assert_eq!(
+                report.outcome.reason,
+                TerminationReason::TimedOut,
+                "{label}: every walk self-cancels at the shared deadline"
+            );
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "deadlines must actually cancel the walks"
+    );
+}
+
+/// The same regression for heterogeneous portfolios, which used to derive
+/// their stop control separately from the flat runners.
+#[test]
+fn timed_out_portfolio_reports_no_winner_on_every_backend() {
+    let member = PortfolioMember::new(
+        "endless",
+        endless_search(),
+        Schedule::fixed(u64::MAX / 8, 0),
+    );
+    let portfolio = Portfolio::cycled(std::slice::from_ref(&member), 3)
+        .with_master_seed(7)
+        .with_timeout(Duration::from_millis(30));
+    let factory = || NQueens::new(24);
+    let backends = [
+        ("threads", run_portfolio_threads(&factory, &portfolio)),
+        ("rayon", run_portfolio_rayon(&factory, &portfolio)),
+        (
+            "sequential",
+            run_portfolio(&factory, &portfolio, &SequentialExecutor, None),
+        ),
+    ];
+    for (label, result) in backends {
+        assert_eq!(result.winner, None, "{label}: timed-out run has no winner");
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| r.outcome.reason == TerminationReason::TimedOut));
+    }
+}
+
+/// A sequential batch with a deadline cancels walks that are *scheduled
+/// after* the deadline passes, not only walks already running — the deadline
+/// is absolute, not per-walk.
+#[test]
+fn deadline_is_shared_by_late_starting_walks() {
+    let config = MultiWalkConfig::new(4)
+        .with_search(endless_search())
+        .with_timeout(Duration::from_millis(25));
+    let result = run_multiwalk(&|| CostasArray::new(10), &config, &SequentialExecutor, None);
+    // the first walk consumed the whole budget; later walks must stop at
+    // their first poll instead of burning 25ms each
+    assert_eq!(result.winner, None);
+    let later_iterations: u64 = result.reports[1..]
+        .iter()
+        .map(|r| r.outcome.stats.iterations)
+        .sum();
+    let first_iterations = result.reports[0].outcome.stats.iterations;
+    assert!(
+        later_iterations <= first_iterations / 2,
+        "late walks should cancel almost immediately \
+         (first: {first_iterations}, later: {later_iterations})"
+    );
+}
+
+/// The telemetry contract on a real benchmark: one `Started` and one
+/// `Finished` per walk bracketing its `Restarted` / `ImprovedCost` events,
+/// and attaching the sink does not perturb the run.
+#[test]
+fn telemetry_stream_is_complete_and_passive() {
+    let search = Benchmark::CostasArray(9).tuned_config();
+    let config = MultiWalkConfig::new(4)
+        .with_master_seed(7)
+        .with_search(search);
+    let factory = || CostasArray::new(9);
+
+    let plain = run_multiwalk(&factory, &config, &SequentialExecutor, None);
+    let log = EventLog::new();
+    let observed = run_multiwalk(&factory, &config, &SequentialExecutor, Some(&log));
+
+    assert_eq!(plain.winner, observed.winner);
+    for (a, b) in plain.reports.iter().zip(observed.reports.iter()) {
+        assert_eq!(a.outcome.stats, b.outcome.stats);
+        assert_eq!(a.outcome.solution, b.outcome.solution);
+    }
+
+    for report in &observed.reports {
+        let events = log.events_of(report.walk_id);
+        assert!(
+            matches!(events.first(), Some(WalkEvent::Started { seed, .. }) if *seed == report.seed),
+            "walk {} must start with Started",
+            report.walk_id
+        );
+        match events.last() {
+            Some(WalkEvent::Finished {
+                solved,
+                iterations,
+                cost,
+                ..
+            }) => {
+                assert_eq!(*solved, report.outcome.solved());
+                assert_eq!(*iterations, report.outcome.stats.iterations);
+                assert_eq!(*cost, report.outcome.best_cost);
+            }
+            other => panic!(
+                "walk {} must end with Finished, got {other:?}",
+                report.walk_id
+            ),
+        }
+        // improvements are strictly decreasing and reach the final best cost
+        let improvements: Vec<i64> = events
+            .iter()
+            .filter_map(|e| match e {
+                WalkEvent::ImprovedCost { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .collect();
+        assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(*improvements.last().unwrap(), report.outcome.best_cost);
+        // restart events match the walk's restart counter
+        let restarts = events
+            .iter()
+            .filter(|e| matches!(e, WalkEvent::Restarted { .. }))
+            .count() as u64;
+        assert_eq!(restarts, report.outcome.stats.restarts);
+    }
+}
+
+/// Online recording through a `DistributionSink` sees exactly the solved
+/// walks' iteration counts — the same observations the post-hoc pass over
+/// the reports would record, available the moment each walk finishes.
+#[test]
+fn distribution_sink_matches_posthoc_recording() {
+    let search = Benchmark::NQueens(20).tuned_config();
+    let config = MultiWalkConfig::new(6)
+        .with_master_seed(5)
+        .with_search(search);
+    let sink = DistributionSink::new();
+    let result = run_multiwalk(&|| NQueens::new(20), &config, &RayonExecutor, Some(&sink));
+
+    let mut online: Vec<f64> = sink.into_accumulator().observations().to_vec();
+    let mut posthoc: Vec<f64> = result
+        .reports
+        .iter()
+        .filter(|r| r.outcome.solved())
+        .map(|r| r.outcome.stats.iterations as f64)
+        .collect();
+    online.sort_by(f64::total_cmp);
+    posthoc.sort_by(f64::total_cmp);
+    assert_eq!(online, posthoc);
+    assert!(!online.is_empty(), "at least the winner solved");
+}
+
+/// `select_winner` is the single winner convention shared by the parallel
+/// and portfolio crates: both report types plug into it.
+#[test]
+fn select_winner_is_shared_across_report_types() {
+    let search = Benchmark::CostasArray(9).tuned_config();
+    let config = MultiWalkConfig::new(3)
+        .with_master_seed(7)
+        .with_search(search.clone());
+    let multi = run_threads(&|| CostasArray::new(9), &config);
+    assert_eq!(select_winner(&multi.reports), multi.winner);
+
+    let portfolio =
+        Portfolio::uniform(search, Schedule::fixed(2_000_000, 0), 3).with_master_seed(7);
+    let hetero = run_portfolio_threads(&|| CostasArray::new(9), &portfolio);
+    assert_eq!(select_winner(&hetero.reports), hetero.winner);
+}
