@@ -1,0 +1,258 @@
+//! The evaluator consistency harness.
+//!
+//! Every [`Evaluator`] implementation promises the same contract — a
+//! from-scratch [`cost`](Evaluator::cost) that agrees with
+//! [`init`](Evaluator::init), a side-effect-free
+//! [`cost_if_swap`](Evaluator::cost_if_swap), an
+//! [`executed_swap`](Evaluator::executed_swap) that keeps incremental state
+//! in sync, and an error-projection protocol
+//! ([`touched_by_swap`](Evaluator::touched_by_swap) /
+//! [`project_errors`](Evaluator::project_errors)) the engine relies on for
+//! its cached error vector.  This module checks those promises with
+//! randomized swap sequences on fixed seeds, so every problem crate (the
+//! hand-coded `cbls-problems` models, the declarative `cbls-model` layer,
+//! downstream user models) can assert them with one call instead of
+//! re-implementing the drive loop.
+//!
+//! The functions panic with a descriptive message on the first violation;
+//! they are meant to be called from `#[test]` functions.
+
+use as_rng::{default_rng, RandomSource};
+
+use crate::evaluator::Evaluator;
+
+/// Exhaustively check, over `samples` random permutations, that
+/// `cost_if_swap` agrees with a from-scratch recomputation and that
+/// `executed_swap` keeps the incremental state consistent with `init`.
+///
+/// # Panics
+///
+/// Panics when any probed swap disagrees with a recompute, or when
+/// `executed_swap` leaves stale incremental state behind.
+pub fn check_incremental_consistency<E: Evaluator>(mut problem: E, seed: u64, samples: usize) {
+    let n = problem.size();
+    let mut rng = default_rng(seed);
+    for _ in 0..samples {
+        let mut perm = rng.permutation(n);
+        let cost = problem.init(&perm);
+        assert_eq!(cost, problem.cost(&perm), "init disagrees with cost");
+        assert!(cost >= 0, "costs must be non-negative");
+
+        // probe a handful of swaps
+        for _ in 0..8usize.min(n * (n - 1) / 2) {
+            let i = rng.index(n);
+            let j = rng.index(n);
+            if i == j {
+                continue;
+            }
+            let predicted = problem.cost_if_swap(&perm, cost, i, j);
+            let mut probe = perm.clone();
+            probe.swap(i, j);
+            let actual = problem.cost(&probe);
+            assert_eq!(
+                predicted, actual,
+                "cost_if_swap({i},{j}) disagrees with recompute"
+            );
+        }
+
+        // execute one swap and verify incremental state stays in sync
+        let i = rng.index(n);
+        let j = rng.index(n);
+        if i != j {
+            let predicted = problem.cost_if_swap(&perm, cost, i, j);
+            perm.swap(i, j);
+            problem.executed_swap(&perm, i, j);
+            assert_eq!(
+                predicted,
+                problem.cost(&perm),
+                "executed_swap left stale incremental state"
+            );
+            // A second init must agree as well.
+            assert_eq!(problem.init(&perm), predicted);
+        }
+    }
+}
+
+/// Drive a randomized swap sequence through the engine's incremental
+/// error-projection protocol and assert, after every executed swap, that
+/// the cached projection (`touched_by_swap` + `project_errors` /
+/// `project_errors_full`) agrees with a fresh `cost_on_variable` for
+/// *every* variable — the exact invariant `AdaptiveSearch` relies on to
+/// keep its cached `err` vector bit-compatible with a full rescan.
+///
+/// # Panics
+///
+/// Panics when the cached projection goes stale at any point of the swap
+/// sequence, or when `cost_if_swap` disagrees with a recompute.
+pub fn check_projection_cache<E: Evaluator>(mut problem: E, seed: u64, swaps: usize) {
+    let n = problem.size();
+    assert!(
+        n >= 2,
+        "projection cache check needs at least two variables"
+    );
+    let mut rng = default_rng(seed);
+    let mut perm = rng.permutation(n);
+    let mut cost = problem.init(&perm);
+    let mut cache = vec![0i64; n];
+    problem.project_errors_full(&perm, &mut cache);
+    let mut touched: Vec<usize> = Vec::new();
+    for step in 0..swaps {
+        for (k, &cached) in cache.iter().enumerate() {
+            assert_eq!(
+                cached,
+                problem.cost_on_variable(&perm, k),
+                "cached projection stale at variable {k} after {step} swaps"
+            );
+        }
+        let i = rng.index(n);
+        let j = rng.index(n);
+        if i == j {
+            continue;
+        }
+        let predicted = problem.cost_if_swap(&perm, cost, i, j);
+        perm.swap(i, j);
+        problem.executed_swap(&perm, i, j);
+        assert_eq!(
+            predicted,
+            problem.cost(&perm),
+            "cost_if_swap({i},{j}) disagrees with recompute at step {step}"
+        );
+        cost = predicted;
+        touched.clear();
+        if problem.touched_by_swap(&perm, i, j, &mut touched) {
+            problem.project_errors(&perm, &touched, &mut cache);
+        } else {
+            problem.project_errors_full(&perm, &mut cache);
+        }
+    }
+    for (k, &cached) in cache.iter().enumerate() {
+        assert_eq!(
+            cached,
+            problem.cost_on_variable(&perm, k),
+            "cached projection stale at variable {k} after the full swap sequence"
+        );
+    }
+}
+
+/// Assert that a problem's [`crate::IncrementalProfile`] rules out every
+/// default probe path on the engine's hot loop: scratch-buffer `cost`,
+/// incremental `cost_if_swap` and `executed_swap`, and either a tracked
+/// dirty set or a batched full projection.
+///
+/// # Panics
+///
+/// Panics when any of the profile's hot-path claims is absent.
+pub fn assert_no_default_hot_paths<E: Evaluator + ?Sized>(problem: &E) {
+    let profile = problem.incremental_profile();
+    let name = problem.name();
+    assert!(
+        profile.scratch_cost,
+        "{name}: cost() still clones the evaluator to recompute"
+    );
+    assert!(
+        profile.incremental_cost_if_swap,
+        "{name}: cost_if_swap() inherits the allocate-probe-recompute default"
+    );
+    assert!(
+        profile.incremental_executed_swap,
+        "{name}: executed_swap() inherits the rebuild-from-scratch default"
+    );
+    assert!(
+        profile.tracked_dirty_sets || profile.batched_projection,
+        "{name}: error projection has neither dirty-set tracking nor a batched pass"
+    );
+}
+
+/// Check that the per-variable error projection is consistent with the
+/// global cost: zero cost implies zero errors, and a positive cost
+/// implies at least one positive error.
+///
+/// # Panics
+///
+/// Panics when any sampled configuration breaks the projection/cost
+/// consistency relation.
+pub fn check_error_projection<E: Evaluator>(mut problem: E, seed: u64, samples: usize) {
+    let n = problem.size();
+    let mut rng = default_rng(seed);
+    for _ in 0..samples {
+        let perm = rng.permutation(n);
+        let cost = problem.init(&perm);
+        let errors: Vec<i64> = (0..n).map(|i| problem.cost_on_variable(&perm, i)).collect();
+        assert!(errors.iter().all(|&e| e >= 0), "negative variable error");
+        if cost == 0 {
+            assert!(
+                errors.iter().all(|&e| e == 0),
+                "zero-cost configuration with positive variable error"
+            );
+        } else {
+            assert!(
+                errors.iter().any(|&e| e > 0),
+                "positive cost but no variable carries any error (cost = {cost})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::test_problems::SortPermutation;
+
+    #[test]
+    fn sort_permutation_passes_the_harness() {
+        check_incremental_consistency(SortPermutation::new(12), 17, 10);
+        check_projection_cache(SortPermutation::new(12), 18, 30);
+        check_error_projection(SortPermutation::new(12), 19, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_if_swap")]
+    fn a_lying_cost_if_swap_is_caught() {
+        struct Lying;
+        impl Evaluator for Lying {
+            fn size(&self) -> usize {
+                6
+            }
+            fn init(&mut self, perm: &[usize]) -> i64 {
+                self.cost(perm)
+            }
+            fn cost(&self, perm: &[usize]) -> i64 {
+                perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+            }
+            fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+                i64::from(perm[i] != i)
+            }
+            fn cost_if_swap(&self, _p: &[usize], c: i64, _i: usize, _j: usize) -> i64 {
+                c + 100 // wrong on purpose
+            }
+        }
+        check_incremental_consistency(Lying, 23, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inherits the allocate-probe-recompute default")]
+    fn default_profiles_fail_the_hot_path_assertion() {
+        struct Plain;
+        impl Evaluator for Plain {
+            fn size(&self) -> usize {
+                4
+            }
+            fn init(&mut self, perm: &[usize]) -> i64 {
+                self.cost(perm)
+            }
+            fn cost(&self, _perm: &[usize]) -> i64 {
+                0
+            }
+            fn cost_on_variable(&self, _perm: &[usize], _i: usize) -> i64 {
+                0
+            }
+            fn incremental_profile(&self) -> crate::IncrementalProfile {
+                crate::IncrementalProfile {
+                    scratch_cost: true,
+                    ..Default::default()
+                }
+            }
+        }
+        assert_no_default_hot_paths(&Plain);
+    }
+}

@@ -47,11 +47,14 @@
 //! * [`SearchObserver`] — passive restart / improvement hooks consumed by
 //!   the multi-walk executor's telemetry stream.
 //! * [`Summary`] — descriptive statistics over repeated runs.
+//! * [`consistency`] — the evaluator consistency harness: randomized checks
+//!   of the incremental contract that every problem crate's tests call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+pub mod consistency;
 mod engine;
 mod evaluator;
 mod observer;

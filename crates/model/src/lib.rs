@@ -1,0 +1,54 @@
+//! # cbls-model — a declarative CBLS modeling layer
+//!
+//! The hand-coded benchmark models of `cbls-problems` each re-implement
+//! incremental cost maintenance from scratch; this crate makes new scenarios
+//! cheap instead.  A problem is *declared* as
+//!
+//! * a **value table** — slot `s` of a permutation `perm` decodes to
+//!   `vals[perm[s]]`, so repeated entries express colorings and counting
+//!   sequences while keeping the engine's swap move structure — and
+//! * a weighted list of **violation terms** ([`Term`]): all-different over
+//!   affine images, linear equations, pairwise-distance constraints
+//!   (distinct differences or minimum separation) and counting channels,
+//!
+//! and the generic [`ModelEvaluator`] implements the full
+//! [`cbls_core::Evaluator`] contract — scratch-buffer cost, in-place
+//! `cost_if_swap`, incremental `executed_swap`, tracked dirty sets and
+//! batched error projection — by maintaining per-term occurrence state.  The
+//! hand-coded evaluators double as a differential-testing oracle: the
+//! modeled N-Queens and All-Interval in [`benchmarks`] are bit-identical to
+//! them on fixed-seed engine trajectories.
+//!
+//! ## Declaring a benchmark
+//!
+//! ```
+//! use as_rng::default_rng;
+//! use cbls_core::AdaptiveSearch;
+//! use cbls_model::{Model, Term};
+//!
+//! // N-Queens in three lines: two all-different diagonal families over a
+//! // row permutation.
+//! let n = 8;
+//! let mut queens = Model::permutation("queens", n)
+//!     .term(Term::all_different_offset((0..n).map(|c| (c, 1, c as i64))))
+//!     .term(Term::all_different_offset(
+//!         (0..n).map(|c| (c, -1, (c + n - 1) as i64)),
+//!     ))
+//!     .build();
+//! let out = AdaptiveSearch::default().solve(&mut queens, &mut default_rng(11));
+//! assert!(out.solved());
+//! ```
+//!
+//! Ready-made models — four benchmarks new to the workspace
+//! (magic sequence, Golomb ruler, graph coloring, quasigroup completion)
+//! plus the two differential remodels — live in [`benchmarks`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod model;
+mod term;
+
+pub use model::{Model, ModelEvaluator, TuneFn, VerifyFn};
+pub use term::Term;

@@ -1,0 +1,1328 @@
+//! The violation-term catalog.
+//!
+//! A [`Term`] is one constraint family over the decoded values of a
+//! permutation model (see [`crate::Model`] for the encoding).  Each term
+//! knows how to
+//!
+//! * rebuild its internal occurrence state for a fresh configuration,
+//! * report its total violation, from cached state or from scratch,
+//! * evaluate the violation delta of a candidate swap *without* mutating
+//!   state (the engine probes `n − 1` swaps per iteration),
+//! * commit an executed swap incrementally, and
+//! * project its violation onto the variables it constrains.
+//!
+//! [`ModelEvaluator`](crate::ModelEvaluator) aggregates weighted terms into
+//! a full [`cbls_core::Evaluator`], dispatching each hook only to the terms
+//! whose variable set contains a swapped position.
+
+/// A read-only view of the decoded values of a configuration: slot `s`
+/// holds `vals[perm[s]]`.
+#[derive(Clone, Copy)]
+pub(crate) struct Dv<'a> {
+    pub vals: &'a [i64],
+    pub perm: &'a [usize],
+}
+
+impl Dv<'_> {
+    /// Decoded value of slot `s`.
+    #[inline]
+    pub fn get(&self, s: usize) -> i64 {
+        self.vals[self.perm[s]]
+    }
+
+    /// Decoded value of slot `s` with slots `i` and `j` exchanged.
+    ///
+    /// Applied to a pre-swap view this evaluates the candidate swap; applied
+    /// to a post-swap view it recovers the pre-swap values.
+    #[inline]
+    pub fn get_swapped(&self, s: usize, i: usize, j: usize) -> i64 {
+        if s == i {
+            self.get(j)
+        } else if s == j {
+            self.get(i)
+        } else {
+            self.get(s)
+        }
+    }
+}
+
+/// Walk the deduplicated union of two ascending index lists, calling `f`
+/// once per element in ascending order.  The merge behind every
+/// "terms/pairs touching slot `i` or `j`" lookup of the model layer.
+#[inline]
+pub(crate) fn merge_sorted(a: &[u32], b: &[u32], mut f: impl FnMut(u32)) {
+    let (mut x, mut y) = (0, 0);
+    loop {
+        match (a.get(x), b.get(y)) {
+            (Some(&p), Some(&q)) if p == q => {
+                f(p);
+                x += 1;
+                y += 1;
+            }
+            (Some(&p), Some(&q)) if p < q => {
+                f(p);
+                x += 1;
+            }
+            (Some(_), Some(&q)) => {
+                f(q);
+                y += 1;
+            }
+            (Some(&p), None) => {
+                f(p);
+                x += 1;
+            }
+            (None, Some(&q)) => {
+                f(q);
+                y += 1;
+            }
+            (None, None) => break,
+        }
+    }
+}
+
+/// `C(k, 2)`: conflicting pairs among `k` entries of one bucket.
+#[inline]
+fn pair(k: i64) -> i64 {
+    k * (k - 1) / 2
+}
+
+/// Largest occurrence table a term may allocate; hit only by degenerate
+/// models (e.g. an offset in the billions), where failing fast with a
+/// message beats an abort on allocation.
+const MAX_TABLE: i64 = 1 << 24;
+
+fn table_len(lo: i64, hi: i64, what: &str) -> usize {
+    let len = hi - lo + 1;
+    assert!(
+        (1..=MAX_TABLE).contains(&len),
+        "{what}: occurrence table of {len} entries (range {lo}..={hi}) is unreasonable"
+    );
+    len as usize
+}
+
+// ---------------------------------------------------------------------------
+// AllDifferentOffset
+// ---------------------------------------------------------------------------
+
+/// One member of an [`AllDifferentOffset`] term: the bucket of variable
+/// `var` is `offset + coeff * value(var)`.
+#[derive(Debug, Clone)]
+struct AdMember {
+    var: usize,
+    coeff: i64,
+    offset: i64,
+}
+
+/// All-different over affine images of the member values: the buckets
+/// `offset_m + coeff_m * value(var_m)` (plus the constant `fixed` buckets)
+/// must be pairwise distinct.  Violation: `Σ C(occ, 2)` over buckets — the
+/// number of conflicting pairs, matching the hand-coded N-Queens diagonal
+/// model.  Variable error: `occ(bucket(var)) − 1`.
+#[derive(Debug, Clone)]
+struct AllDiff {
+    /// Members, sorted by variable (one member per variable).
+    members: Vec<AdMember>,
+    /// Constant buckets always present (pre-filled cells of a quasigroup
+    /// row, for example).
+    fixed: Vec<i64>,
+    /// Smallest representable bucket; `occ` is indexed by `bucket - lo`.
+    lo: i64,
+    occ: Vec<u32>,
+    viol: i64,
+}
+
+impl AllDiff {
+    fn member(&self, var: usize) -> Option<&AdMember> {
+        self.members
+            .binary_search_by_key(&var, |m| m.var)
+            .ok()
+            .map(|idx| &self.members[idx])
+    }
+
+    #[inline]
+    fn bucket(m: &AdMember, value: i64) -> i64 {
+        m.offset + m.coeff * value
+    }
+
+    #[inline]
+    fn idx(&self, bucket: i64) -> usize {
+        (bucket - self.lo) as usize
+    }
+
+    fn bind(&mut self, vals: &[i64]) {
+        let (min_v, max_v) = val_range(vals);
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for m in &self.members {
+            let a = Self::bucket(m, min_v);
+            let b = Self::bucket(m, max_v);
+            lo = lo.min(a.min(b));
+            hi = hi.max(a.max(b));
+        }
+        for &f in &self.fixed {
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        self.lo = lo;
+        self.occ = vec![0; table_len(lo, hi, "all-different")];
+    }
+
+    fn count_into(&self, dv: Dv, occ: &mut [u32]) {
+        for &f in &self.fixed {
+            occ[self.idx(f)] += 1;
+        }
+        for m in &self.members {
+            occ[self.idx(Self::bucket(m, dv.get(m.var)))] += 1;
+        }
+    }
+
+    fn rebuild(&mut self, dv: Dv) -> i64 {
+        let mut occ = std::mem::take(&mut self.occ);
+        occ.iter_mut().for_each(|o| *o = 0);
+        self.count_into(dv, &mut occ);
+        self.occ = occ;
+        self.viol = self.occ.iter().map(|&k| pair(i64::from(k))).sum();
+        self.viol
+    }
+
+    fn violation_scratch(&self, dv: Dv) -> i64 {
+        let mut occ = vec![0u32; self.occ.len()];
+        self.count_into(dv, &mut occ);
+        occ.iter().map(|&k| pair(i64::from(k))).sum()
+    }
+
+    fn var_error(&self, dv: Dv, k: usize) -> i64 {
+        match self.member(k) {
+            // The member itself is counted, so occ >= 1.
+            Some(m) => i64::from(self.occ[self.idx(Self::bucket(m, dv.get(k)))]) - 1,
+            None => 0,
+        }
+    }
+
+    fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
+        // At most two members move buckets; track the <= 4 adjusted buckets
+        // in a stack-resident list so shared buckets are re-costed exactly.
+        let mut adjust = [(0usize, 0i64); 4];
+        let mut na = 0usize;
+        let mut delta = 0i64;
+        let mut apply = |occ: &[u32], bucket: usize, d: i64, delta: &mut i64| {
+            let mut cur = i64::from(occ[bucket]);
+            for &(b, v) in &adjust[..na] {
+                if b == bucket {
+                    cur += v;
+                }
+            }
+            *delta -= pair(cur);
+            *delta += pair(cur + d);
+            adjust[na] = (bucket, d);
+            na += 1;
+        };
+        for (s, other) in [(i, j), (j, i)] {
+            if let Some(m) = self.member(s) {
+                apply(
+                    &self.occ,
+                    self.idx(Self::bucket(m, dv.get(s))),
+                    -1,
+                    &mut delta,
+                );
+                apply(
+                    &self.occ,
+                    self.idx(Self::bucket(m, dv.get(other))),
+                    1,
+                    &mut delta,
+                );
+            }
+        }
+        delta
+    }
+
+    fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
+        // `dv_after` is the post-swap view; the pre-swap value of slot `s`
+        // is recovered by swapping back on the fly.  Sequential mutation
+        // keeps the pair count exact even when buckets coincide.
+        let mut delta = 0i64;
+        for s in [i, j] {
+            if let Some(m) = self.member(s) {
+                let b = self.idx(Self::bucket(m, dv_after.get_swapped(s, i, j)));
+                delta -= i64::from(self.occ[b]) - 1;
+                self.occ[b] -= 1;
+            }
+        }
+        for s in [i, j] {
+            if let Some(m) = self.member(s) {
+                let b = self.idx(Self::bucket(m, dv_after.get(s)));
+                delta += i64::from(self.occ[b]);
+                self.occ[b] += 1;
+            }
+        }
+        self.viol += delta;
+        delta
+    }
+
+    fn touched_vars(&self, dv_after: Dv, i: usize, j: usize, out: &mut Vec<usize>) {
+        // A member's error depends only on its own bucket count, and the
+        // swap changed at most four buckets (old and new per moved member).
+        let mut changed = [0usize; 4];
+        let mut nc = 0usize;
+        for s in [i, j] {
+            if let Some(m) = self.member(s) {
+                for b in [
+                    self.idx(Self::bucket(m, dv_after.get_swapped(s, i, j))),
+                    self.idx(Self::bucket(m, dv_after.get(s))),
+                ] {
+                    if !changed[..nc].contains(&b) {
+                        changed[nc] = b;
+                        nc += 1;
+                    }
+                }
+            }
+        }
+        if nc == 0 {
+            return;
+        }
+        for m in &self.members {
+            if changed[..nc].contains(&self.idx(Self::bucket(m, dv_after.get(m.var)))) {
+                out.push(m.var);
+            }
+        }
+    }
+
+    fn accumulate_errors(&self, dv: Dv, weight: i64, out: &mut [i64]) {
+        for m in &self.members {
+            out[m.var] +=
+                weight * (i64::from(self.occ[self.idx(Self::bucket(m, dv.get(m.var)))]) - 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LinearEq
+// ---------------------------------------------------------------------------
+
+/// A linear equation `Σ coeff_m * value(var_m) = target`.  Violation:
+/// `|sum − target|`.  Variable error: every member carries the full line
+/// violation, matching the hand-coded magic-square row/column convention.
+#[derive(Debug, Clone)]
+struct Linear {
+    /// `(var, coeff)`, sorted by variable (one member per variable).
+    members: Vec<(usize, i64)>,
+    target: i64,
+    sum: i64,
+}
+
+impl Linear {
+    fn coeff(&self, var: usize) -> i64 {
+        self.members
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .map(|idx| self.members[idx].1)
+            .unwrap_or(0)
+    }
+
+    fn sum_of(&self, dv: Dv) -> i64 {
+        self.members.iter().map(|&(v, c)| c * dv.get(v)).sum()
+    }
+
+    fn rebuild(&mut self, dv: Dv) -> i64 {
+        self.sum = self.sum_of(dv);
+        (self.sum - self.target).abs()
+    }
+
+    fn violation_scratch(&self, dv: Dv) -> i64 {
+        (self.sum_of(dv) - self.target).abs()
+    }
+
+    fn viol(&self) -> i64 {
+        (self.sum - self.target).abs()
+    }
+
+    fn new_sum(
+        &self,
+        vi_old: i64,
+        vi_new: i64,
+        vj_old: i64,
+        vj_new: i64,
+        i: usize,
+        j: usize,
+    ) -> i64 {
+        self.sum + self.coeff(i) * (vi_new - vi_old) + self.coeff(j) * (vj_new - vj_old)
+    }
+
+    fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
+        let (vi, vj) = (dv.get(i), dv.get(j));
+        let next = self.new_sum(vi, vj, vj, vi, i, j);
+        (next - self.target).abs() - self.viol()
+    }
+
+    fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
+        let before = self.viol();
+        self.sum = self.new_sum(
+            dv_after.get_swapped(i, i, j),
+            dv_after.get(i),
+            dv_after.get_swapped(j, i, j),
+            dv_after.get(j),
+            i,
+            j,
+        );
+        self.viol() - before
+    }
+
+    fn touched_vars(&self, out: &mut Vec<usize>) {
+        // Every member reports the full line violation, so a changed sum
+        // dirties all of them.
+        out.extend(self.members.iter().map(|&(v, _)| v));
+    }
+
+    fn accumulate_errors(&self, weight: i64, out: &mut [i64]) {
+        let v = self.viol();
+        if v != 0 {
+            for &(var, _) in &self.members {
+                out[var] += weight * v;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PairwiseDistance
+// ---------------------------------------------------------------------------
+
+/// How a [`PairwiseDistance`] term scores the distances of its pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DistanceMode {
+    /// All pair distances must be pairwise distinct.  Violation: the surplus
+    /// `Σ max(0, occ(d) − 1)` over distance values, matching the hand-coded
+    /// all-interval model.  Variable error: the number of incident pairs
+    /// whose distance is duplicated.
+    AllDistinct,
+    /// Every pair distance must be at least the separation.  Violation: the
+    /// total shortfall `Σ max(0, sep − dist)`.  Variable error: the summed
+    /// shortfall of the incident pairs.  With separation 1 this is a
+    /// binary not-equal constraint per pair (graph coloring).
+    MinSeparation(i64),
+}
+
+/// A constraint over the absolute value differences of a list of slot
+/// pairs; see [`DistanceMode`] for the two scoring modes.
+#[derive(Debug, Clone)]
+struct Pairwise {
+    pairs: Vec<(usize, usize)>,
+    mode: DistanceMode,
+    /// Sorted, deduplicated endpoints (the term's variable set).
+    vars: Vec<usize>,
+    /// `incident[v]` = indices into `pairs` touching slot `v` (empty for
+    /// slots outside the term).
+    incident: Vec<Vec<u32>>,
+    /// Occurrences per distance value (`AllDistinct` only).
+    occ: Vec<u32>,
+    viol: i64,
+}
+
+impl Pairwise {
+    #[inline]
+    fn dist(dv: Dv, p: (usize, usize)) -> i64 {
+        (dv.get(p.0) - dv.get(p.1)).abs()
+    }
+
+    #[inline]
+    fn dist_swapped(dv: Dv, p: (usize, usize), i: usize, j: usize) -> i64 {
+        (dv.get_swapped(p.0, i, j) - dv.get_swapped(p.1, i, j)).abs()
+    }
+
+    #[inline]
+    fn shortfall(sep: i64, dist: i64) -> i64 {
+        (sep - dist).max(0)
+    }
+
+    fn bind(&mut self, vals: &[i64]) {
+        // A swap may pair a term slot with any other slot of the model, so
+        // the incidence table must cover all of them.
+        if self.incident.len() < vals.len() {
+            self.incident.resize(vals.len(), Vec::new());
+        }
+        if self.mode == DistanceMode::AllDistinct {
+            let (min_v, max_v) = val_range(vals);
+            self.occ = vec![0; table_len(0, max_v - min_v, "pairwise-distance")];
+        }
+    }
+
+    /// The deduplicated pair indices incident to `i` or `j` (both lists are
+    /// sorted, so a merge walk suffices).
+    fn affected(&self, i: usize, j: usize) -> Vec<u32> {
+        let (a, b) = (&self.incident[i], &self.incident[j]);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        merge_sorted(a, b, |p| out.push(p));
+        out
+    }
+
+    fn rebuild(&mut self, dv: Dv) -> i64 {
+        match self.mode {
+            DistanceMode::AllDistinct => {
+                let mut occ = std::mem::take(&mut self.occ);
+                occ.iter_mut().for_each(|o| *o = 0);
+                for &p in &self.pairs {
+                    occ[Self::dist(dv, p) as usize] += 1;
+                }
+                self.occ = occ;
+                self.viol = self
+                    .occ
+                    .iter()
+                    .map(|&o| i64::from(o.saturating_sub(1)))
+                    .sum();
+            }
+            DistanceMode::MinSeparation(sep) => {
+                self.viol = self
+                    .pairs
+                    .iter()
+                    .map(|&p| Self::shortfall(sep, Self::dist(dv, p)))
+                    .sum();
+            }
+        }
+        self.viol
+    }
+
+    fn violation_scratch(&self, dv: Dv) -> i64 {
+        match self.mode {
+            DistanceMode::AllDistinct => {
+                let mut occ = vec![0u32; self.occ.len()];
+                let mut viol = 0;
+                for &p in &self.pairs {
+                    let d = Self::dist(dv, p) as usize;
+                    if occ[d] >= 1 {
+                        viol += 1;
+                    }
+                    occ[d] += 1;
+                }
+                viol
+            }
+            DistanceMode::MinSeparation(sep) => self
+                .pairs
+                .iter()
+                .map(|&p| Self::shortfall(sep, Self::dist(dv, p)))
+                .sum(),
+        }
+    }
+
+    fn var_error(&self, dv: Dv, k: usize) -> i64 {
+        match self.mode {
+            DistanceMode::AllDistinct => self.incident[k]
+                .iter()
+                .map(|&p| i64::from(self.occ[Self::dist(dv, self.pairs[p as usize]) as usize] > 1))
+                .sum(),
+            DistanceMode::MinSeparation(sep) => self.incident[k]
+                .iter()
+                .map(|&p| Self::shortfall(sep, Self::dist(dv, self.pairs[p as usize])))
+                .sum(),
+        }
+    }
+
+    fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
+        let affected = self.affected(i, j);
+        match self.mode {
+            DistanceMode::AllDistinct => {
+                // Remove the old distances, then add the new ones, tracking
+                // pending occurrence adjustments exactly.
+                let mut adjust: Vec<(i64, i64)> = Vec::with_capacity(2 * affected.len());
+                let occ_now = |adjust: &[(i64, i64)], occ: &[u32], d: i64| {
+                    let mut cur = i64::from(occ[d as usize]);
+                    for &(ad, v) in adjust {
+                        if ad == d {
+                            cur += v;
+                        }
+                    }
+                    cur
+                };
+                let mut delta = 0i64;
+                for &p in &affected {
+                    let d = Self::dist(dv, self.pairs[p as usize]);
+                    if occ_now(&adjust, &self.occ, d) > 1 {
+                        delta -= 1;
+                    }
+                    adjust.push((d, -1));
+                }
+                for &p in &affected {
+                    let d = Self::dist_swapped(dv, self.pairs[p as usize], i, j);
+                    if occ_now(&adjust, &self.occ, d) >= 1 {
+                        delta += 1;
+                    }
+                    adjust.push((d, 1));
+                }
+                delta
+            }
+            DistanceMode::MinSeparation(sep) => affected
+                .iter()
+                .map(|&p| {
+                    let pp = self.pairs[p as usize];
+                    Self::shortfall(sep, Self::dist_swapped(dv, pp, i, j))
+                        - Self::shortfall(sep, Self::dist(dv, pp))
+                })
+                .sum(),
+        }
+    }
+
+    fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
+        let affected = self.affected(i, j);
+        let mut delta = 0i64;
+        match self.mode {
+            DistanceMode::AllDistinct => {
+                for &p in &affected {
+                    let pp = self.pairs[p as usize];
+                    let old_d = Self::dist_swapped(dv_after, pp, i, j) as usize;
+                    if self.occ[old_d] > 1 {
+                        delta -= 1;
+                    }
+                    self.occ[old_d] -= 1;
+                    let new_d = Self::dist(dv_after, pp) as usize;
+                    if self.occ[new_d] >= 1 {
+                        delta += 1;
+                    }
+                    self.occ[new_d] += 1;
+                }
+            }
+            DistanceMode::MinSeparation(sep) => {
+                for &p in &affected {
+                    let pp = self.pairs[p as usize];
+                    delta += Self::shortfall(sep, Self::dist(dv_after, pp))
+                        - Self::shortfall(sep, Self::dist_swapped(dv_after, pp, i, j));
+                }
+            }
+        }
+        self.viol += delta;
+        delta
+    }
+
+    fn touched_vars(&self, dv_after: Dv, i: usize, j: usize, out: &mut Vec<usize>) {
+        let affected = self.affected(i, j);
+        for &p in &affected {
+            let (a, b) = self.pairs[p as usize];
+            out.push(a);
+            out.push(b);
+        }
+        if self.mode == DistanceMode::AllDistinct {
+            // A non-incident pair's error flips only when one of the changed
+            // distance values crossed the duplicated/unique boundary; in that
+            // case conservatively dirty the whole term.
+            let mut deltas: Vec<(i64, i64)> = Vec::with_capacity(2 * affected.len());
+            let bump = |deltas: &mut Vec<(i64, i64)>, d: i64, v: i64| {
+                for entry in deltas.iter_mut() {
+                    if entry.0 == d {
+                        entry.1 += v;
+                        return;
+                    }
+                }
+                deltas.push((d, v));
+            };
+            for &p in &affected {
+                let pp = self.pairs[p as usize];
+                bump(&mut deltas, Self::dist_swapped(dv_after, pp, i, j), -1);
+                bump(&mut deltas, Self::dist(dv_after, pp), 1);
+            }
+            let flipped = deltas.iter().any(|&(d, v)| {
+                let post = i64::from(self.occ[d as usize]);
+                (post - v > 1) != (post > 1)
+            });
+            if flipped {
+                out.extend_from_slice(&self.vars);
+            }
+        }
+    }
+
+    fn accumulate_errors(&self, dv: Dv, weight: i64, out: &mut [i64]) {
+        match self.mode {
+            DistanceMode::AllDistinct => {
+                for &p in &self.pairs {
+                    if self.occ[Self::dist(dv, p) as usize] > 1 {
+                        out[p.0] += weight;
+                        out[p.1] += weight;
+                    }
+                }
+            }
+            DistanceMode::MinSeparation(sep) => {
+                for &p in &self.pairs {
+                    let s = Self::shortfall(sep, Self::dist(dv, p));
+                    if s != 0 {
+                        out[p.0] += weight * s;
+                        out[p.1] += weight * s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TableCount
+// ---------------------------------------------------------------------------
+
+/// A channeling counting constraint: for each entry `(value, target)`, the
+/// number of `counted` slots holding `value` must equal the decoded value of
+/// slot `target`.  Violation: `Σ |occ(value) − value(target)|`.  Variable
+/// error: a counted slot carries the mismatch of its own value's entry; a
+/// target slot carries the mismatch of every entry it controls.
+#[derive(Debug, Clone)]
+struct Count {
+    /// Sorted, deduplicated counted slots.
+    counted: Vec<usize>,
+    /// `(value, target_slot)`, unique values.
+    entries: Vec<(i64, usize)>,
+    /// Variable set: counted slots plus target slots, sorted, deduplicated.
+    vars: Vec<usize>,
+    lo: i64,
+    /// Occurrences per decoded value among the counted slots.
+    occ: Vec<u32>,
+    /// `entry_of[value - lo]` = index into `entries` tracking that value.
+    entry_of: Vec<Option<u32>>,
+    /// `targets_of[v]` = entries whose target slot is `v` (empty elsewhere).
+    targets_of: Vec<Vec<u32>>,
+    /// `is_counted[v]` for every slot.
+    is_counted: Vec<bool>,
+    viol: i64,
+}
+
+impl Count {
+    fn bind(&mut self, vals: &[i64]) {
+        // A swap may pair a term slot with any other slot of the model, so
+        // the per-slot lookup tables must cover all of them.
+        if self.targets_of.len() < vals.len() {
+            self.targets_of.resize(vals.len(), Vec::new());
+        }
+        if self.is_counted.len() < vals.len() {
+            self.is_counted.resize(vals.len(), false);
+        }
+        let (min_v, max_v) = val_range(vals);
+        let mut lo = min_v;
+        let mut hi = max_v;
+        for &(value, _) in &self.entries {
+            lo = lo.min(value);
+            hi = hi.max(value);
+        }
+        self.lo = lo;
+        let len = table_len(lo, hi, "table-count");
+        self.occ = vec![0; len];
+        self.entry_of = vec![None; len];
+        for (e, &(value, _)) in self.entries.iter().enumerate() {
+            let slot = &mut self.entry_of[(value - lo) as usize];
+            assert!(
+                slot.is_none(),
+                "table-count: duplicate entry for value {value}"
+            );
+            *slot = Some(e as u32);
+        }
+    }
+
+    #[inline]
+    fn idx(&self, value: i64) -> usize {
+        (value - self.lo) as usize
+    }
+
+    #[inline]
+    fn mismatch_with(&self, occ: &[u32], dv: Dv, e: usize) -> i64 {
+        let (value, target) = self.entries[e];
+        (i64::from(occ[self.idx(value)]) - dv.get(target)).abs()
+    }
+
+    fn rebuild(&mut self, dv: Dv) -> i64 {
+        let mut occ = std::mem::take(&mut self.occ);
+        occ.iter_mut().for_each(|o| *o = 0);
+        for &s in &self.counted {
+            occ[self.idx(dv.get(s))] += 1;
+        }
+        self.occ = occ;
+        self.viol = (0..self.entries.len())
+            .map(|e| self.mismatch_with(&self.occ, dv, e))
+            .sum();
+        self.viol
+    }
+
+    fn violation_scratch(&self, dv: Dv) -> i64 {
+        let mut occ = vec![0u32; self.occ.len()];
+        for &s in &self.counted {
+            occ[self.idx(dv.get(s))] += 1;
+        }
+        (0..self.entries.len())
+            .map(|e| self.mismatch_with(&occ, dv, e))
+            .sum()
+    }
+
+    fn var_error(&self, dv: Dv, k: usize) -> i64 {
+        let mut err = 0;
+        if self.is_counted[k] {
+            if let Some(e) = self.entry_of[self.idx(dv.get(k))] {
+                err += self.mismatch_with(&self.occ, dv, e as usize);
+            }
+        }
+        for &e in &self.targets_of[k] {
+            err += self.mismatch_with(&self.occ, dv, e as usize);
+        }
+        err
+    }
+
+    /// The deduplicated entries whose mismatch a swap of `(i, j)` may
+    /// change: entries tracking the two moving values (when exactly one
+    /// endpoint is counted, so the occurrence table shifts) and entries
+    /// targeted by either endpoint.
+    fn affected_entries(&self, vi: i64, vj: i64, i: usize, j: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::with_capacity(4);
+        let push = |out: &mut Vec<u32>, e: u32| {
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        };
+        if self.is_counted[i] != self.is_counted[j] {
+            for v in [vi, vj] {
+                if let Some(e) = self.entry_of[self.idx(v)] {
+                    push(&mut out, e);
+                }
+            }
+        }
+        for s in [i, j] {
+            for &e in &self.targets_of[s] {
+                push(&mut out, e);
+            }
+        }
+        out
+    }
+
+    /// Net occurrence shift of the swap: `Some((removed, added))` when
+    /// exactly one endpoint is counted, `None` when the table is unchanged.
+    fn occ_shift(&self, vi: i64, vj: i64, i: usize, j: usize) -> Option<(i64, i64)> {
+        match (self.is_counted[i], self.is_counted[j]) {
+            (true, false) => Some((vi, vj)),
+            (false, true) => Some((vj, vi)),
+            _ => None,
+        }
+    }
+
+    fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
+        let (vi, vj) = (dv.get(i), dv.get(j));
+        let affected = self.affected_entries(vi, vj, i, j);
+        if affected.is_empty() {
+            return 0;
+        }
+        let shift = self.occ_shift(vi, vj, i, j);
+        let mut delta = 0i64;
+        for &e in &affected {
+            let (value, target) = self.entries[e as usize];
+            let mut occ = i64::from(self.occ[self.idx(value)]);
+            if let Some((removed, added)) = shift {
+                if value == removed {
+                    occ -= 1;
+                }
+                if value == added {
+                    occ += 1;
+                }
+            }
+            let new_target = dv.get_swapped(target, i, j);
+            delta += (occ - new_target).abs() - self.mismatch_with(&self.occ, dv, e as usize);
+        }
+        delta
+    }
+
+    fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
+        // Pre-swap values are the post-swap view swapped back.
+        let (vi, vj) = (dv_after.get(j), dv_after.get(i));
+        let affected = self.affected_entries(vi, vj, i, j);
+        if affected.is_empty() {
+            return 0;
+        }
+        let mut delta = 0i64;
+        for &e in &affected {
+            // Pre-swap mismatch, with the target read through the swapped view.
+            let (value, target) = self.entries[e as usize];
+            delta -=
+                (i64::from(self.occ[self.idx(value)]) - dv_after.get_swapped(target, i, j)).abs();
+        }
+        if let Some((removed, added)) = self.occ_shift(vi, vj, i, j) {
+            let (r, a) = (self.idx(removed), self.idx(added));
+            self.occ[r] -= 1;
+            self.occ[a] += 1;
+        }
+        for &e in &affected {
+            delta += self.mismatch_with(&self.occ, dv_after, e as usize);
+        }
+        self.viol += delta;
+        delta
+    }
+
+    fn touched_vars(&self, out: &mut Vec<usize>) {
+        // Counted errors depend on the shared occurrence table and the
+        // targets' decoded values; dirty the whole term.
+        out.extend_from_slice(&self.vars);
+    }
+
+    fn accumulate_errors(&self, dv: Dv, weight: i64, out: &mut [i64]) {
+        for (e, &(_, target)) in self.entries.iter().enumerate() {
+            let m = self.mismatch_with(&self.occ, dv, e);
+            if m != 0 {
+                out[target] += weight * m;
+            }
+        }
+        for &s in &self.counted {
+            if let Some(e) = self.entry_of[self.idx(dv.get(s))] {
+                let m = self.mismatch_with(&self.occ, dv, e as usize);
+                if m != 0 {
+                    out[s] += weight * m;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Term: the public wrapper
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Kind {
+    AllDiff(AllDiff),
+    Linear(Linear),
+    Pairwise(Pairwise),
+    Count(Count),
+}
+
+/// One violation term of a [`crate::Model`]; build values with the
+/// constructors below and attach them with [`crate::Model::term`] /
+/// [`crate::Model::weighted_term`].
+///
+/// See the module docs for the incremental obligations every term meets.
+#[derive(Debug, Clone)]
+pub struct Term {
+    kind: Kind,
+}
+
+fn val_range(vals: &[i64]) -> (i64, i64) {
+    let min_v = vals.iter().copied().min().expect("empty value table");
+    let max_v = vals.iter().copied().max().expect("empty value table");
+    (min_v, max_v)
+}
+
+fn sorted_unique(mut vars: Vec<usize>, what: &str) -> Vec<usize> {
+    vars.sort_unstable();
+    let before = vars.len();
+    vars.dedup();
+    assert_eq!(before, vars.len(), "{what}: duplicate variable");
+    vars
+}
+
+impl Term {
+    /// All decoded values of `vars` must be pairwise distinct (violation:
+    /// number of conflicting pairs).
+    #[must_use]
+    pub fn all_different(vars: impl IntoIterator<Item = usize>) -> Self {
+        Self::all_different_with_fixed(vars.into_iter().map(|v| (v, 1, 0)), Vec::new())
+    }
+
+    /// All-different over affine images: member `(var, coeff, offset)`
+    /// occupies bucket `offset + coeff * value(var)`.  Two N-Queens diagonal
+    /// families are `(c, 1, c)` and `(c, -1, c + n - 1)` over the columns.
+    #[must_use]
+    pub fn all_different_offset(members: impl IntoIterator<Item = (usize, i64, i64)>) -> Self {
+        Self::all_different_with_fixed(members, Vec::new())
+    }
+
+    /// [`Term::all_different_offset`] with additional constant buckets that
+    /// are always occupied — the pre-filled cells of a quasigroup row or
+    /// column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two members share a variable, or if no member is given.
+    #[must_use]
+    pub fn all_different_with_fixed(
+        members: impl IntoIterator<Item = (usize, i64, i64)>,
+        fixed: Vec<i64>,
+    ) -> Self {
+        let mut members: Vec<AdMember> = members
+            .into_iter()
+            .map(|(var, coeff, offset)| AdMember { var, coeff, offset })
+            .collect();
+        assert!(!members.is_empty(), "all-different: no members");
+        members.sort_unstable_by_key(|m| m.var);
+        assert!(
+            members.windows(2).all(|w| w[0].var != w[1].var),
+            "all-different: duplicate variable"
+        );
+        Self {
+            kind: Kind::AllDiff(AllDiff {
+                members,
+                fixed,
+                lo: 0,
+                occ: Vec::new(),
+                viol: 0,
+            }),
+        }
+    }
+
+    /// The linear equation `Σ coeff * value(var) = target` over the member
+    /// list (violation: absolute deviation).  Zero-coefficient members are
+    /// dropped — their value can never move the sum, so they are not part
+    /// of the constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two members share a variable, or if no member with a
+    /// non-zero coefficient is given.
+    #[must_use]
+    pub fn linear_eq(members: impl IntoIterator<Item = (usize, i64)>, target: i64) -> Self {
+        let mut members: Vec<(usize, i64)> = members.into_iter().filter(|&(_, c)| c != 0).collect();
+        assert!(!members.is_empty(), "linear-eq: no members");
+        members.sort_unstable_by_key(|&(v, _)| v);
+        assert!(
+            members.windows(2).all(|w| w[0].0 != w[1].0),
+            "linear-eq: duplicate variable"
+        );
+        Self {
+            kind: Kind::Linear(Linear {
+                members,
+                target,
+                sum: 0,
+            }),
+        }
+    }
+
+    /// The absolute differences `|value(a) − value(b)|` of the listed pairs
+    /// must be pairwise distinct (violation: surplus occurrences) — the
+    /// all-interval / Golomb-ruler constraint shape.
+    #[must_use]
+    pub fn pairwise_distinct(pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        Self::pairwise(pairs, DistanceMode::AllDistinct)
+    }
+
+    /// Every listed pair must satisfy `|value(a) − value(b)| >= separation`
+    /// (violation: total shortfall).  With separation 1 this is a not-equal
+    /// constraint per pair — the graph-coloring edge constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `separation < 1` (a zero separation never constrains).
+    #[must_use]
+    pub fn min_separation(
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+        separation: i64,
+    ) -> Self {
+        assert!(separation >= 1, "min-separation: separation must be >= 1");
+        Self::pairwise(pairs, DistanceMode::MinSeparation(separation))
+    }
+
+    fn pairwise(pairs: impl IntoIterator<Item = (usize, usize)>, mode: DistanceMode) -> Self {
+        let pairs: Vec<(usize, usize)> = pairs.into_iter().collect();
+        assert!(!pairs.is_empty(), "pairwise-distance: no pairs");
+        assert!(
+            pairs.iter().all(|&(a, b)| a != b),
+            "pairwise-distance: a pair must join two distinct slots"
+        );
+        let vars = {
+            let mut v: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let max_var = *vars.last().expect("pairs are non-empty");
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); max_var + 1];
+        for (p, &(a, b)) in pairs.iter().enumerate() {
+            incident[a].push(p as u32);
+            incident[b].push(p as u32);
+        }
+        Self {
+            kind: Kind::Pairwise(Pairwise {
+                pairs,
+                mode,
+                vars,
+                incident,
+                occ: Vec::new(),
+                viol: 0,
+            }),
+        }
+    }
+
+    /// For each entry `(value, target)`, the number of `counted` slots whose
+    /// decoded value equals `value` must equal the decoded value of slot
+    /// `target` (violation: total absolute mismatch) — the magic-sequence
+    /// channeling constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate counted slots, duplicate entry values, or empty
+    /// inputs.
+    #[must_use]
+    pub fn count_matches(
+        counted: impl IntoIterator<Item = usize>,
+        entries: impl IntoIterator<Item = (i64, usize)>,
+    ) -> Self {
+        let counted = sorted_unique(counted.into_iter().collect(), "table-count");
+        let entries: Vec<(i64, usize)> = entries.into_iter().collect();
+        assert!(!counted.is_empty(), "table-count: no counted slots");
+        assert!(!entries.is_empty(), "table-count: no entries");
+        let vars = {
+            let mut v = counted.clone();
+            v.extend(entries.iter().map(|&(_, t)| t));
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let max_var = *vars.last().expect("vars are non-empty");
+        let mut targets_of: Vec<Vec<u32>> = vec![Vec::new(); max_var + 1];
+        for (e, &(_, target)) in entries.iter().enumerate() {
+            targets_of[target].push(e as u32);
+        }
+        let mut is_counted = vec![false; max_var + 1];
+        for &s in &counted {
+            is_counted[s] = true;
+        }
+        Self {
+            kind: Kind::Count(Count {
+                counted,
+                entries,
+                vars,
+                lo: 0,
+                occ: Vec::new(),
+                entry_of: Vec::new(),
+                targets_of,
+                is_counted,
+                viol: 0,
+            }),
+        }
+    }
+
+    /// Short, stable name of the term family (used in panic messages and
+    /// debug output).
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match &self.kind {
+            Kind::AllDiff(_) => "all-different",
+            Kind::Linear(_) => "linear-eq",
+            Kind::Pairwise(p) => match p.mode {
+                DistanceMode::AllDistinct => "pairwise-distinct",
+                DistanceMode::MinSeparation(_) => "min-separation",
+            },
+            Kind::Count(_) => "table-count",
+        }
+    }
+
+    /// The largest slot index this term constrains (for model validation).
+    pub(crate) fn max_var(&self) -> usize {
+        match &self.kind {
+            Kind::AllDiff(t) => t.members.iter().map(|m| m.var).max().unwrap_or(0),
+            Kind::Linear(t) => t.members.iter().map(|&(v, _)| v).max().unwrap_or(0),
+            Kind::Pairwise(t) => *t.vars.last().expect("non-empty"),
+            Kind::Count(t) => *t.vars.last().expect("non-empty"),
+        }
+    }
+
+    /// All slots this term constrains, in ascending order.
+    pub(crate) fn for_each_var(&self, mut f: impl FnMut(usize)) {
+        match &self.kind {
+            Kind::AllDiff(t) => t.members.iter().for_each(|m| f(m.var)),
+            Kind::Linear(t) => t.members.iter().for_each(|&(v, _)| f(v)),
+            Kind::Pairwise(t) => t.vars.iter().for_each(|&v| f(v)),
+            Kind::Count(t) => t.vars.iter().for_each(|&v| f(v)),
+        }
+    }
+
+    /// Allocate occurrence tables for the model's value table.
+    pub(crate) fn bind(&mut self, vals: &[i64]) {
+        match &mut self.kind {
+            Kind::AllDiff(t) => t.bind(vals),
+            Kind::Linear(_) => {}
+            Kind::Pairwise(t) => t.bind(vals),
+            Kind::Count(t) => t.bind(vals),
+        }
+    }
+
+    pub(crate) fn rebuild(&mut self, dv: Dv) -> i64 {
+        match &mut self.kind {
+            Kind::AllDiff(t) => t.rebuild(dv),
+            Kind::Linear(t) => t.rebuild(dv),
+            Kind::Pairwise(t) => t.rebuild(dv),
+            Kind::Count(t) => t.rebuild(dv),
+        }
+    }
+
+    pub(crate) fn violation_scratch(&self, dv: Dv) -> i64 {
+        match &self.kind {
+            Kind::AllDiff(t) => t.violation_scratch(dv),
+            Kind::Linear(t) => t.violation_scratch(dv),
+            Kind::Pairwise(t) => t.violation_scratch(dv),
+            Kind::Count(t) => t.violation_scratch(dv),
+        }
+    }
+
+    pub(crate) fn var_error(&self, dv: Dv, k: usize) -> i64 {
+        match &self.kind {
+            Kind::AllDiff(t) => t.var_error(dv, k),
+            Kind::Linear(t) => {
+                if t.coeff(k) != 0 {
+                    t.viol()
+                } else {
+                    0
+                }
+            }
+            Kind::Pairwise(t) => t.var_error(dv, k),
+            Kind::Count(t) => t.var_error(dv, k),
+        }
+    }
+
+    pub(crate) fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
+        match &self.kind {
+            Kind::AllDiff(t) => t.delta_swap(dv, i, j),
+            Kind::Linear(t) => t.delta_swap(dv, i, j),
+            Kind::Pairwise(t) => t.delta_swap(dv, i, j),
+            Kind::Count(t) => t.delta_swap(dv, i, j),
+        }
+    }
+
+    pub(crate) fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
+        match &mut self.kind {
+            Kind::AllDiff(t) => t.apply_swap(dv_after, i, j),
+            Kind::Linear(t) => t.apply_swap(dv_after, i, j),
+            Kind::Pairwise(t) => t.apply_swap(dv_after, i, j),
+            Kind::Count(t) => t.apply_swap(dv_after, i, j),
+        }
+    }
+
+    pub(crate) fn touched_vars(&self, dv_after: Dv, i: usize, j: usize, out: &mut Vec<usize>) {
+        match &self.kind {
+            Kind::AllDiff(t) => t.touched_vars(dv_after, i, j, out),
+            Kind::Linear(t) => t.touched_vars(out),
+            Kind::Pairwise(t) => t.touched_vars(dv_after, i, j, out),
+            Kind::Count(t) => t.touched_vars(out),
+        }
+    }
+
+    pub(crate) fn accumulate_errors(&self, dv: Dv, weight: i64, out: &mut [i64]) {
+        match &self.kind {
+            Kind::AllDiff(t) => t.accumulate_errors(dv, weight, out),
+            Kind::Linear(t) => t.accumulate_errors(weight, out),
+            Kind::Pairwise(t) => t.accumulate_errors(dv, weight, out),
+            Kind::Count(t) => t.accumulate_errors(dv, weight, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv<'a>(vals: &'a [i64], perm: &'a [usize]) -> Dv<'a> {
+        Dv { vals, perm }
+    }
+
+    #[test]
+    fn dv_swapped_view_is_an_involution() {
+        let vals = [10i64, 20, 30, 40];
+        let perm = [2usize, 0, 3, 1];
+        let d = dv(&vals, &perm);
+        assert_eq!(d.get(0), 30);
+        assert_eq!(d.get_swapped(0, 0, 2), 40);
+        assert_eq!(d.get_swapped(2, 0, 2), 30);
+        assert_eq!(d.get_swapped(1, 0, 2), 10);
+    }
+
+    #[test]
+    fn all_different_counts_conflicting_pairs() {
+        let vals: Vec<i64> = vec![0, 0, 0, 1];
+        let perm: Vec<usize> = (0..4).collect();
+        let mut t = Term::all_different(0..4);
+        t.bind(&vals);
+        // three zeros -> C(3,2) = 3 conflicting pairs
+        assert_eq!(t.rebuild(dv(&vals, &perm)), 3);
+        assert_eq!(t.violation_scratch(dv(&vals, &perm)), 3);
+        assert_eq!(t.var_error(dv(&vals, &perm), 0), 2);
+        assert_eq!(t.var_error(dv(&vals, &perm), 3), 0);
+    }
+
+    #[test]
+    fn all_different_fixed_buckets_conflict_with_members() {
+        let vals: Vec<i64> = vec![5, 6];
+        let perm: Vec<usize> = vec![0, 1];
+        let mut t = Term::all_different_with_fixed([(0, 1, 0), (1, 1, 0)], vec![5, 7]);
+        t.bind(&vals);
+        // value 5 appears as member 0 and as a fixed bucket -> one pair
+        assert_eq!(t.rebuild(dv(&vals, &perm)), 1);
+        assert_eq!(t.var_error(dv(&vals, &perm), 0), 1);
+        assert_eq!(t.var_error(dv(&vals, &perm), 1), 0);
+    }
+
+    #[test]
+    fn linear_eq_tracks_absolute_deviation() {
+        let vals: Vec<i64> = vec![1, 2, 3];
+        let perm: Vec<usize> = vec![0, 1, 2];
+        let mut t = Term::linear_eq([(0, 1), (1, 2), (2, -1)], 1);
+        t.bind(&vals);
+        // 1*1 + 2*2 - 3 = 2, target 1 -> violation 1
+        assert_eq!(t.rebuild(dv(&vals, &perm)), 1);
+        assert_eq!(t.var_error(dv(&vals, &perm), 0), 1);
+        assert_eq!(t.var_error(dv(&vals, &perm), 2), 1);
+    }
+
+    #[test]
+    fn pairwise_distinct_counts_surplus() {
+        // series 0,1,2,3: all adjacent differences are 1 -> surplus 2
+        let vals: Vec<i64> = (0..4).collect();
+        let perm: Vec<usize> = (0..4).collect();
+        let mut t = Term::pairwise_distinct((0..3).map(|i| (i, i + 1)));
+        t.bind(&vals);
+        assert_eq!(t.rebuild(dv(&vals, &perm)), 2);
+        // each position touches only duplicated differences
+        assert_eq!(t.var_error(dv(&vals, &perm), 0), 1);
+        assert_eq!(t.var_error(dv(&vals, &perm), 1), 2);
+    }
+
+    #[test]
+    fn min_separation_scores_shortfalls() {
+        let vals: Vec<i64> = vec![0, 0, 1, 5];
+        let perm: Vec<usize> = (0..4).collect();
+        let mut t = Term::min_separation([(0, 1), (1, 2), (2, 3)], 2);
+        t.bind(&vals);
+        // |0-0| = 0 -> 2, |0-1| = 1 -> 1, |1-5| = 4 -> 0
+        assert_eq!(t.rebuild(dv(&vals, &perm)), 3);
+        assert_eq!(t.var_error(dv(&vals, &perm), 1), 3);
+        assert_eq!(t.var_error(dv(&vals, &perm), 3), 0);
+    }
+
+    #[test]
+    fn count_matches_channels_counts_to_targets() {
+        // values: slot s holds vals[perm[s]]; counted = all slots.
+        // entries: value 0 must occur value(slot 0) times, value 1 must occur
+        // value(slot 1) times.
+        let vals: Vec<i64> = vec![2, 1, 0, 0];
+        let perm: Vec<usize> = (0..4).collect();
+        let mut t = Term::count_matches(0..4, [(0, 0), (1, 1)]);
+        t.bind(&vals);
+        // occ(0) = 2, target value(0) = 2 -> ok; occ(1) = 1, target value(1) = 1 -> ok
+        assert_eq!(t.rebuild(dv(&vals, &perm)), 0);
+        // swap slots 0 and 2: values become 0,1,2,0 -> occ(0)=2 vs target 0 -> 2;
+        // occ(1)=1 vs target 1 -> 0
+        let perm2: Vec<usize> = vec![2, 1, 0, 3];
+        assert_eq!(t.violation_scratch(dv(&vals, &perm2)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn all_different_rejects_duplicate_members() {
+        let _ = Term::all_different([0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct slots")]
+    fn pairwise_rejects_self_pairs() {
+        let _ = Term::pairwise_distinct([(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "separation must be >= 1")]
+    fn min_separation_rejects_zero() {
+        let _ = Term::min_separation([(0, 1)], 0);
+    }
+
+    #[test]
+    fn families_are_stable() {
+        assert_eq!(Term::all_different([0, 1]).family(), "all-different");
+        assert_eq!(Term::linear_eq([(0, 1)], 0).family(), "linear-eq");
+        assert_eq!(
+            Term::pairwise_distinct([(0, 1)]).family(),
+            "pairwise-distinct"
+        );
+        assert_eq!(Term::min_separation([(0, 1)], 1).family(), "min-separation");
+        assert_eq!(Term::count_matches([0], [(0, 0)]).family(), "table-count");
+    }
+}

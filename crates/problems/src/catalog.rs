@@ -6,12 +6,29 @@
 //! (e.g. `magic-square 20`) resolves to the same instance everywhere.
 
 use cbls_core::{AdaptiveSearch, Evaluator, SearchConfig};
+use cbls_model::benchmarks as model_benchmarks;
 use serde::{Deserialize, Serialize};
 
 use crate::{
     AllInterval, AlphaCipher, CostasArray, Langford, MagicSquare, NQueens, NumberPartitioning,
     PerfectSquare, SquarePackingInstance,
 };
+
+/// Seed of the generated [`Benchmark::GraphColoring`] instances: together
+/// with `(nodes, colors)` it fully determines the planted edge set, so the
+/// same catalog entry names the same graph everywhere.
+pub const GRAPH_COLORING_SEED: u64 = 0xC01;
+
+/// Seed of the [`Benchmark::QuasigroupCompletion`] hole pattern.
+pub const QUASIGROUP_SEED: u64 = 0x9C9;
+
+/// Number of punched cells of the [`Benchmark::QuasigroupCompletion`]
+/// instance of a given order: 40% of the square, the classically hard
+/// completion density, floored at two so a swap always exists.
+#[must_use]
+pub fn quasigroup_holes(order: usize) -> usize {
+    (order * order * 2 / 5).max(2)
+}
 
 /// A named benchmark instance from the paper's evaluation (or from the wider
 /// Adaptive Search distribution).
@@ -35,6 +52,25 @@ pub enum Benchmark {
     NumberPartitioning(usize),
     /// The standard alpha cryptarithm.
     Alpha,
+    /// Magic sequence of the given order, declared in the `cbls-model`
+    /// layer (CSPLib prob005, permutation form; order >= 7).
+    MagicSequence(usize),
+    /// Golomb ruler with the given number of marks (2..=8) at the optimal
+    /// length, declared in the `cbls-model` layer (CSPLib prob006).
+    GolombRuler(usize),
+    /// Graph coloring on a generated planted instance with the given node
+    /// and color counts, declared in the `cbls-model` layer (the edge set is
+    /// fixed by [`GRAPH_COLORING_SEED`]).
+    GraphColoring {
+        /// Number of nodes (at least `2 * colors`).
+        nodes: usize,
+        /// Number of colors (at least 2).
+        colors: usize,
+    },
+    /// Quasigroup completion of the given order with the
+    /// [`quasigroup_holes`] hole pattern, declared in the `cbls-model`
+    /// layer (CSPLib prob067 shape).
+    QuasigroupCompletion(usize),
 }
 
 impl Benchmark {
@@ -62,6 +98,10 @@ impl Benchmark {
             Benchmark::Langford(n) => format!("langford-{n}"),
             Benchmark::NumberPartitioning(n) => format!("partition-{n}"),
             Benchmark::Alpha => "alpha".to_string(),
+            Benchmark::MagicSequence(n) => format!("magic-sequence-{n}"),
+            Benchmark::GolombRuler(m) => format!("golomb-{m}"),
+            Benchmark::GraphColoring { nodes, colors } => format!("coloring-{nodes}x{colors}"),
+            Benchmark::QuasigroupCompletion(q) => format!("qcp-{q}"),
         }
     }
 
@@ -78,6 +118,12 @@ impl Benchmark {
             Benchmark::Langford(n) => format!("langford L(2,{n})"),
             Benchmark::NumberPartitioning(n) => format!("partition {n}"),
             Benchmark::Alpha => "alpha cipher".to_string(),
+            Benchmark::MagicSequence(n) => format!("magic sequence {n}"),
+            Benchmark::GolombRuler(m) => format!("golomb ruler {m} marks"),
+            Benchmark::GraphColoring { nodes, colors } => {
+                format!("graph coloring {nodes} nodes / {colors} colors")
+            }
+            Benchmark::QuasigroupCompletion(q) => format!("quasigroup completion {q}x{q}"),
         }
     }
 
@@ -92,6 +138,10 @@ impl Benchmark {
             Benchmark::Langford(n) => 2 * n,
             Benchmark::NumberPartitioning(n) => *n,
             Benchmark::Alpha => crate::alpha::ALPHABET,
+            Benchmark::MagicSequence(n) => *n,
+            Benchmark::GolombRuler(m) => model_benchmarks::golomb_optimal_length(*m) + 1,
+            Benchmark::GraphColoring { nodes, .. } => *nodes,
+            Benchmark::QuasigroupCompletion(q) => quasigroup_holes(*q),
         }
     }
 
@@ -110,6 +160,14 @@ impl Benchmark {
             Benchmark::Langford(n) => Box::new(Langford::new(*n)),
             Benchmark::NumberPartitioning(n) => Box::new(NumberPartitioning::new(*n)),
             Benchmark::Alpha => Box::new(AlphaCipher::standard()),
+            Benchmark::MagicSequence(n) => Box::new(model_benchmarks::magic_sequence(*n)),
+            Benchmark::GolombRuler(m) => Box::new(model_benchmarks::golomb_ruler(*m)),
+            Benchmark::GraphColoring { nodes, colors } => Box::new(
+                model_benchmarks::graph_coloring(*nodes, *colors, GRAPH_COLORING_SEED),
+            ),
+            Benchmark::QuasigroupCompletion(q) => Box::new(
+                model_benchmarks::quasigroup_completion(*q, quasigroup_holes(*q), QUASIGROUP_SEED),
+            ),
         }
     }
 
@@ -144,6 +202,13 @@ mod tests {
             Benchmark::Langford(4),
             Benchmark::NumberPartitioning(8),
             Benchmark::Alpha,
+            Benchmark::MagicSequence(9),
+            Benchmark::GolombRuler(4),
+            Benchmark::GraphColoring {
+                nodes: 9,
+                colors: 3,
+            },
+            Benchmark::QuasigroupCompletion(5),
         ]
     }
 
@@ -195,6 +260,8 @@ mod tests {
             Benchmark::NQueens(10),
             Benchmark::CostasArray(7),
             Benchmark::Langford(4),
+            Benchmark::MagicSequence(8),
+            Benchmark::GolombRuler(4),
         ] {
             let mut evaluator = b.build();
             let engine = b.engine();

@@ -20,7 +20,11 @@
 //! * [`AlphaCipher`] — the "alpha" cryptarithm (26 letters, 20 word sums).
 //!
 //! [`Benchmark`] is a small registry enumerating ready-made instances so the
-//! harness, the examples and the figures can refer to problems by name.
+//! harness, the examples and the figures can refer to problems by name.  It
+//! also registers four benchmarks declared in the `cbls-model` layer rather
+//! than hand-coded here — magic sequence, Golomb ruler, graph coloring on
+//! generated instances, and quasigroup completion — which run unchanged
+//! through the engine, every executor back-end and the portfolio runners.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,7 +41,7 @@ mod queens;
 
 pub use all_interval::AllInterval;
 pub use alpha::AlphaCipher;
-pub use catalog::Benchmark;
+pub use catalog::{quasigroup_holes, Benchmark, GRAPH_COLORING_SEED, QUASIGROUP_SEED};
 pub use costas::CostasArray;
 pub use langford::Langford;
 pub use magic_square::MagicSquare;
@@ -47,159 +51,12 @@ pub use queens::NQueens;
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use as_rng::{default_rng, RandomSource};
-    use cbls_core::Evaluator;
-
-    /// Exhaustively check, over `samples` random permutations, that
-    /// `cost_if_swap` agrees with a from-scratch recomputation and that
-    /// `executed_swap` keeps the incremental state consistent with `init`.
-    pub fn check_incremental_consistency<E: Evaluator>(mut problem: E, seed: u64, samples: usize) {
-        let n = problem.size();
-        let mut rng = default_rng(seed);
-        for _ in 0..samples {
-            let mut perm = rng.permutation(n);
-            let cost = problem.init(&perm);
-            assert_eq!(cost, problem.cost(&perm), "init disagrees with cost");
-            assert!(cost >= 0, "costs must be non-negative");
-
-            // probe a handful of swaps
-            for _ in 0..8usize.min(n * (n - 1) / 2) {
-                let i = rng.index(n);
-                let j = rng.index(n);
-                if i == j {
-                    continue;
-                }
-                let predicted = problem.cost_if_swap(&perm, cost, i, j);
-                let mut probe = perm.clone();
-                probe.swap(i, j);
-                let actual = problem.cost(&probe);
-                assert_eq!(
-                    predicted, actual,
-                    "cost_if_swap({i},{j}) disagrees with recompute"
-                );
-            }
-
-            // execute one swap and verify incremental state stays in sync
-            let i = rng.index(n);
-            let j = rng.index(n);
-            if i != j {
-                let predicted = problem.cost_if_swap(&perm, cost, i, j);
-                perm.swap(i, j);
-                problem.executed_swap(&perm, i, j);
-                assert_eq!(
-                    predicted,
-                    problem.cost(&perm),
-                    "executed_swap left stale incremental state"
-                );
-                // A second init must agree as well.
-                assert_eq!(problem.init(&perm), predicted);
-            }
-        }
-    }
-
-    /// Drive a randomized swap sequence through the engine's incremental
-    /// error-projection protocol and assert, after every executed swap, that
-    /// the cached projection (`touched_by_swap` + `project_errors` /
-    /// `project_errors_full`) agrees with a fresh `cost_on_variable` for
-    /// *every* variable — the exact invariant `AdaptiveSearch` relies on to
-    /// keep its cached `err` vector bit-compatible with a full rescan.
-    pub fn check_projection_cache<E: Evaluator>(mut problem: E, seed: u64, swaps: usize) {
-        let n = problem.size();
-        assert!(
-            n >= 2,
-            "projection cache check needs at least two variables"
-        );
-        let mut rng = default_rng(seed);
-        let mut perm = rng.permutation(n);
-        let mut cost = problem.init(&perm);
-        let mut cache = vec![0i64; n];
-        problem.project_errors_full(&perm, &mut cache);
-        let mut touched: Vec<usize> = Vec::new();
-        for step in 0..swaps {
-            for (k, &cached) in cache.iter().enumerate() {
-                assert_eq!(
-                    cached,
-                    problem.cost_on_variable(&perm, k),
-                    "cached projection stale at variable {k} after {step} swaps"
-                );
-            }
-            let i = rng.index(n);
-            let j = rng.index(n);
-            if i == j {
-                continue;
-            }
-            let predicted = problem.cost_if_swap(&perm, cost, i, j);
-            perm.swap(i, j);
-            problem.executed_swap(&perm, i, j);
-            assert_eq!(
-                predicted,
-                problem.cost(&perm),
-                "cost_if_swap({i},{j}) disagrees with recompute at step {step}"
-            );
-            cost = predicted;
-            touched.clear();
-            if problem.touched_by_swap(&perm, i, j, &mut touched) {
-                problem.project_errors(&perm, &touched, &mut cache);
-            } else {
-                problem.project_errors_full(&perm, &mut cache);
-            }
-        }
-        for (k, &cached) in cache.iter().enumerate() {
-            assert_eq!(
-                cached,
-                problem.cost_on_variable(&perm, k),
-                "cached projection stale at variable {k} after the full swap sequence"
-            );
-        }
-    }
-
-    /// Assert that a problem's [`cbls_core::IncrementalProfile`] rules out
-    /// every default probe path on the engine's hot loop: scratch-buffer
-    /// `cost`, incremental `cost_if_swap` and `executed_swap`, and either a
-    /// tracked dirty set or a batched full projection.
-    pub fn assert_no_default_hot_paths<E: Evaluator + ?Sized>(problem: &E) {
-        let profile = problem.incremental_profile();
-        let name = problem.name();
-        assert!(
-            profile.scratch_cost,
-            "{name}: cost() still clones the evaluator to recompute"
-        );
-        assert!(
-            profile.incremental_cost_if_swap,
-            "{name}: cost_if_swap() inherits the allocate-probe-recompute default"
-        );
-        assert!(
-            profile.incremental_executed_swap,
-            "{name}: executed_swap() inherits the rebuild-from-scratch default"
-        );
-        assert!(
-            profile.tracked_dirty_sets || profile.batched_projection,
-            "{name}: error projection has neither dirty-set tracking nor a batched pass"
-        );
-    }
-
-    /// Check that the per-variable error projection is consistent with the
-    /// global cost: zero cost implies zero errors, and a positive cost
-    /// implies at least one positive error.
-    pub fn check_error_projection<E: Evaluator>(mut problem: E, seed: u64, samples: usize) {
-        let n = problem.size();
-        let mut rng = default_rng(seed);
-        for _ in 0..samples {
-            let perm = rng.permutation(n);
-            let cost = problem.init(&perm);
-            let errors: Vec<i64> = (0..n).map(|i| problem.cost_on_variable(&perm, i)).collect();
-            assert!(errors.iter().all(|&e| e >= 0), "negative variable error");
-            if cost == 0 {
-                assert!(
-                    errors.iter().all(|&e| e == 0),
-                    "zero-cost configuration with positive variable error"
-                );
-            } else {
-                assert!(
-                    errors.iter().any(|&e| e > 0),
-                    "positive cost but no variable carries any error (cost = {cost})"
-                );
-            }
-        }
-    }
+    //! The consistency harness now lives in `cbls_core::consistency` so the
+    //! declarative `cbls-model` layer (and downstream model crates) can run
+    //! the exact same checks; this alias keeps the problem tests' imports
+    //! stable.
+    pub use cbls_core::consistency::{
+        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
+        check_projection_cache,
+    };
 }

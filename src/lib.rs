@@ -26,6 +26,8 @@
 //! See the individual crates for the full APIs:
 //!
 //! * [`core`] (`cbls-core`) — engine, configuration, statistics;
+//! * [`model`] (`cbls-model`) — the declarative modeling layer (violation
+//!   terms, the model builder and the generic incremental evaluator);
 //! * [`problems`] (`cbls-problems`) — benchmark models and the registry;
 //! * [`parallel`] (`cbls-parallel`) — multi-walk runners and speedup helpers;
 //! * [`portfolio`] (`cbls-portfolio`) — restart schedules, heterogeneous
@@ -40,6 +42,7 @@
 
 pub use as_rng as rng;
 pub use cbls_core as core;
+pub use cbls_model as model;
 pub use cbls_parallel as parallel;
 pub use cbls_perfmodel as perfmodel;
 pub use cbls_portfolio as portfolio;
@@ -53,6 +56,7 @@ pub mod prelude {
         AdaptiveSearch, Evaluator, EvaluatorFactory, IncrementalProfile, SearchConfig,
         SearchOutcome, SearchStats, StopControl, Summary, TerminationReason,
     };
+    pub use cbls_model::{Model, ModelEvaluator, Term};
     pub use cbls_parallel::{
         dependent::{run_dependent, run_dependent_on, DependentWalkConfig},
         run_multiwalk, run_rayon, run_threads, select_winner, DistributionSink, EventLog,

@@ -25,6 +25,13 @@ fn small_instance(template: &Benchmark) -> Benchmark {
         Benchmark::Langford(_) => Benchmark::Langford(4),
         Benchmark::NumberPartitioning(_) => Benchmark::NumberPartitioning(8),
         Benchmark::Alpha => Benchmark::Alpha,
+        Benchmark::MagicSequence(_) => Benchmark::MagicSequence(8),
+        Benchmark::GolombRuler(_) => Benchmark::GolombRuler(4),
+        Benchmark::GraphColoring { .. } => Benchmark::GraphColoring {
+            nodes: 8,
+            colors: 3,
+        },
+        Benchmark::QuasigroupCompletion(_) => Benchmark::QuasigroupCompletion(5),
     }
 }
 
@@ -40,6 +47,13 @@ fn every_variant() -> Vec<Benchmark> {
         Benchmark::Langford(1),
         Benchmark::NumberPartitioning(1),
         Benchmark::Alpha,
+        Benchmark::MagicSequence(7),
+        Benchmark::GolombRuler(2),
+        Benchmark::GraphColoring {
+            nodes: 1,
+            colors: 1,
+        },
+        Benchmark::QuasigroupCompletion(3),
     ]
     .iter()
     .map(small_instance)

@@ -168,6 +168,114 @@ fn alpha_seed_1600_trajectory_is_pinned() {
 }
 
 #[test]
+fn magic_sequence_12_seed_123_trajectory_is_pinned() {
+    // First of the four model-layer benchmarks: pins the generic
+    // `ModelEvaluator` (table-count + linear-eq terms) under the engine's
+    // incremental projection protocol.
+    let out = golden(Benchmark::MagicSequence(12), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 11,
+            swaps: 5,
+            local_minima: 6,
+            plateau_moves: 0,
+            forced_moves: 0,
+            variables_marked: 6,
+            resets: 2,
+            restarts: 0,
+            swap_evaluations: 121,
+        },
+        "magic-sequence-12",
+    );
+    assert_eq!(out.solution, vec![0, 1, 2, 10, 5, 4, 8, 11, 3, 7, 9, 6]);
+}
+
+#[test]
+fn golomb_6_seed_123_trajectory_is_pinned() {
+    // Model-layer benchmark: a pairwise-distinct term over a mark prefix
+    // with a reservoir of unused positions.
+    let out = golden(Benchmark::GolombRuler(6), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 37,
+            swaps: 20,
+            local_minima: 17,
+            plateau_moves: 9,
+            forced_moves: 0,
+            variables_marked: 17,
+            resets: 8,
+            restarts: 0,
+            swap_evaluations: 629,
+        },
+        "golomb-6",
+    );
+    assert_eq!(
+        out.solution,
+        vec![7, 2, 17, 16, 0, 13, 5, 10, 3, 11, 8, 6, 15, 9, 12, 1, 4, 14]
+    );
+}
+
+#[test]
+fn coloring_15x3_seed_123_trajectory_is_pinned() {
+    // Model-layer benchmark: a min-separation edge term over a generated
+    // planted instance (the edge set is fixed by GRAPH_COLORING_SEED).
+    let out = golden(
+        Benchmark::GraphColoring {
+            nodes: 15,
+            colors: 3,
+        },
+        123,
+    );
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 13,
+            swaps: 9,
+            local_minima: 4,
+            plateau_moves: 3,
+            forced_moves: 0,
+            variables_marked: 4,
+            resets: 1,
+            restarts: 0,
+            swap_evaluations: 182,
+        },
+        "coloring-15x3",
+    );
+    assert_eq!(
+        out.solution,
+        vec![13, 5, 0, 6, 2, 3, 9, 14, 7, 10, 8, 4, 1, 11, 12]
+    );
+}
+
+#[test]
+fn qcp_7_seed_123_trajectory_is_pinned() {
+    // Model-layer benchmark: per-row/column all-different terms with fixed
+    // buckets from the surviving cells of the punched Latin square.
+    let out = golden(Benchmark::QuasigroupCompletion(7), 123);
+    assert_stats(
+        &out,
+        SearchStats {
+            iterations: 33,
+            swaps: 25,
+            local_minima: 8,
+            plateau_moves: 9,
+            forced_moves: 0,
+            variables_marked: 8,
+            resets: 2,
+            restarts: 0,
+            swap_evaluations: 594,
+        },
+        "qcp-7",
+    );
+    assert_eq!(
+        out.solution,
+        vec![16, 5, 3, 2, 4, 1, 7, 6, 14, 15, 12, 8, 0, 13, 11, 9, 10, 17, 18]
+    );
+}
+
+#[test]
 fn partition_16_seed_123_trajectory_is_pinned() {
     // The longest golden run (1.45M iterations): partition's plateau-heavy
     // landscape exercises the swap-every-iteration path of the cache.

@@ -1,0 +1,109 @@
+//! The four model-layer benchmarks (magic sequence, Golomb ruler, graph
+//! coloring, quasigroup completion) must run unchanged through the whole
+//! stack: every `WalkExecutor` back-end solves them at small sizes with
+//! identical per-walk outcomes, and the portfolio layer drives them like
+//! any hand-coded benchmark.
+
+use parallel_cbls::prelude::*;
+
+fn small_model_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::MagicSequence(9),
+        Benchmark::GolombRuler(4),
+        Benchmark::GraphColoring {
+            nodes: 9,
+            colors: 3,
+        },
+        Benchmark::QuasigroupCompletion(5),
+    ]
+}
+
+/// Run a 3-walk batch to completion on every executor back-end.  With no
+/// first-success stop the per-walk trajectories are deterministic, so the
+/// three back-ends must agree on every walk, not just the winner.
+#[test]
+fn every_executor_solves_every_model_benchmark() {
+    for bench in small_model_suite() {
+        let factory = || bench.build();
+        let batch = WalkBatch::uniform(2026, &bench.tuned_config(), 3).run_to_completion();
+
+        let sequential = SequentialExecutor.execute(&factory, &batch);
+        let threads = ThreadsExecutor.execute(&factory, &batch);
+        let rayon = RayonExecutor.execute(&factory, &batch);
+
+        for (label, result) in [
+            ("sequential", &sequential),
+            ("threads", &threads),
+            ("rayon", &rayon),
+        ] {
+            assert!(
+                result.winner.is_some(),
+                "{}: {label} backend found no winner",
+                bench.id()
+            );
+            for record in &result.records {
+                assert!(
+                    record.outcome.solved(),
+                    "{}: {label} walk {} unsolved: {:?}",
+                    bench.id(),
+                    record.walk_id,
+                    record.outcome
+                );
+                let evaluator = bench.build();
+                assert!(
+                    evaluator.verify(&record.outcome.solution),
+                    "{}: {label} walk {} produced a bogus solution",
+                    bench.id(),
+                    record.walk_id
+                );
+            }
+        }
+        // The winner is resolved by measured elapsed time, which is
+        // scheduler-dependent when several walks solve — but the per-walk
+        // trajectories themselves must be bit-identical across back-ends.
+        for (label, other) in [("threads", &threads), ("rayon", &rayon)] {
+            for (a, b) in sequential.records.iter().zip(&other.records) {
+                assert_eq!(a.seed, b.seed, "{}: {label}", bench.id());
+                assert_eq!(
+                    a.outcome.stats,
+                    b.outcome.stats,
+                    "{}: {label} walk {} trajectory diverged",
+                    bench.id(),
+                    a.walk_id
+                );
+                assert_eq!(a.outcome.solution, b.outcome.solution);
+            }
+        }
+    }
+}
+
+/// The portfolio layer treats a model benchmark like any other: a
+/// heterogeneous three-member portfolio replays deterministically and every
+/// member solves its instance.
+#[test]
+fn the_portfolio_layer_drives_model_benchmarks() {
+    for bench in small_model_suite() {
+        let factory = || bench.build();
+        let tuned = bench.tuned_config();
+        let mut eager = tuned.clone();
+        eager.first_best = true;
+        let mut sticky = tuned.clone();
+        sticky.plateau_probability = (tuned.plateau_probability * 0.5).clamp(0.0, 1.0);
+        let members = vec![
+            PortfolioMember::new("tuned", tuned, Schedule::fixed(2_000_000, 0)),
+            PortfolioMember::new("first-best", eager, Schedule::fixed(2_000_000, 0)),
+            PortfolioMember::new("sticky", sticky, Schedule::fixed(2_000_000, 0)),
+        ];
+        let portfolio = Portfolio::cycled(&members, 3).with_master_seed(77);
+        let sim = SimulatedPortfolio::replay_parallel(&factory, &portfolio);
+        assert!(
+            (sim.success_rate() - 1.0).abs() < 1e-12,
+            "{}: portfolio member failed to solve",
+            bench.id()
+        );
+        let again = SimulatedPortfolio::replay_parallel(&factory, &portfolio);
+        for (a, b) in sim.runs().iter().zip(again.runs().iter()) {
+            assert_eq!(a.outcome.stats, b.outcome.stats, "{}", bench.id());
+        }
+    }
+}
