@@ -13,7 +13,7 @@
 //! framework the paper benchmarks; every divergence is a documented,
 //! configurable knob in [`SearchConfig`].
 
-use std::time::Instant;
+use crate::stop::monotonic_now;
 
 use as_rng::RandomSource;
 
@@ -225,7 +225,7 @@ impl AdaptiveSearch {
         S: FnMut(u64) -> Option<u64>,
         O: SearchObserver + ?Sized,
     {
-        let started = Instant::now();
+        let started = monotonic_now();
         let cfg = &self.config;
         let n = eval.size();
         if let Some(init) = initial {

@@ -50,7 +50,11 @@
 //! * [`consistency`] — the evaluator consistency harness: randomized checks
 //!   of the incremental contract that every problem crate's tests call.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` (the other workspace crates forbid): the
+// counting test allocator in [`consistency`] must `impl GlobalAlloc`, an
+// unsafe trait, and carries the workspace's single scoped
+// `#[allow(unsafe_code)]` with its justification.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
@@ -67,5 +71,5 @@ pub use engine::AdaptiveSearch;
 pub use evaluator::{Evaluator, EvaluatorFactory, IncrementalProfile};
 pub use observer::{NoObserver, SearchObserver};
 pub use outcome::{SearchOutcome, SearchStats, TerminationReason};
-pub use stop::StopControl;
+pub use stop::{monotonic_now, StopControl};
 pub use summary::Summary;

@@ -10,6 +10,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The workspace's single wall-clock read point.
+///
+/// Everything outside this module (and the measurement-only `cbls-bench`
+/// crate) obtains monotonic timestamps here instead of calling
+/// `Instant::now()` directly, so that every deadline comparison in a
+/// multi-walk batch is anchored to the same clock discipline as
+/// [`StopControl`] — `cbls-lint`'s `no-wallclock-outside-stop` rule enforces
+/// the funnel.
+#[must_use]
+pub fn monotonic_now() -> Instant {
+    Instant::now()
+}
+
 /// Shared, cheaply clonable stop signal checked periodically by the engine.
 #[derive(Debug, Clone)]
 pub struct StopControl {
@@ -110,12 +123,15 @@ impl StopControl {
     /// Request that every engine sharing this control stop as soon as it
     /// polls the flag.
     pub fn request_stop(&self) {
+        // Release: pairs with the Acquire loads below so a stopping walk's
+        // writes (its outcome) happen-before any walk that observes the flag.
         self.flag.store(true, Ordering::Release);
     }
 
     /// Whether a stop has been requested (does not consider the deadline).
     #[must_use]
     pub fn stop_requested(&self) -> bool {
+        // Acquire: pairs with the Release store in `request_stop`.
         self.flag.load(Ordering::Acquire)
     }
 
@@ -123,6 +139,7 @@ impl StopControl {
     /// or because the deadline has passed.
     #[must_use]
     pub fn should_stop(&self) -> bool {
+        // Acquire: pairs with the Release store in `request_stop`.
         self.flag.load(Ordering::Acquire) || self.deadline_passed()
     }
 }
@@ -162,6 +179,7 @@ mod tests {
         let b = StopControl::with_shared_flag(Arc::clone(&flag));
         a.request_stop();
         assert!(b.should_stop());
+        // Acquire: observe the Release store made through control `a`.
         assert!(flag.load(Ordering::Acquire));
     }
 
@@ -210,6 +228,7 @@ mod tests {
             .and_deadline(Instant::now() - Duration::from_millis(1));
         assert!(c.should_stop());
         assert!(
+            // Acquire: would observe any Release store; none must have happened.
             !flag.load(Ordering::Acquire),
             "deadline must not raise the flag"
         );

@@ -1,0 +1,30 @@
+//! Seeded violations for the `atomics-ordering-justified` rule.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn unjustified(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+fn justified_same_line(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release); // pairs with the Acquire load above
+}
+
+fn justified_preceding_line(counter: &AtomicU64) -> u64 {
+    // Relaxed: monotonic counter, carries no other memory
+    counter.load(Ordering::Relaxed)
+}
+
+fn seqcst_with_weak_justification(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst); // line 19: comment does not rule out weaker orderings
+}
+
+fn seqcst_justified(flag: &AtomicBool) -> bool {
+    // SeqCst: this load takes part in a store-load race with the sibling
+    // flag; Acquire/Release cannot order the two independent stores.
+    flag.load(Ordering::SeqCst)
+}
+
+fn cmp_ordering_is_not_atomic(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b) // Ordering::Less / Greater never match the rule
+}

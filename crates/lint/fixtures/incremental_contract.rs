@@ -1,0 +1,56 @@
+//! Seeded violations for the `incremental-contract-complete` rule.
+
+/// Claims three incremental hooks, overrides only one: two findings.
+impl Evaluator for Overclaiming {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn cost_if_swap(&self, _perm: &[usize], current: i64, _i: usize, _j: usize) -> i64 {
+        current
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        // line 13: claims executed_swap + touched_by_swap it does not define
+        IncrementalProfile {
+            incremental_cost_if_swap: true,
+            incremental_executed_swap: true,
+            tracked_dirty_sets: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Claims exactly what it provides: clean.
+impl Evaluator for Honest {
+    fn cost(&self, _perm: &[usize]) -> i64 {
+        0
+    }
+
+    fn executed_swap(&mut self, _perm: &[usize], _i: usize, _j: usize) {}
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            scratch_cost: true,
+            incremental_executed_swap: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// No profile override: promises nothing, requires nothing.
+impl Evaluator for Silent {
+    fn size(&self) -> usize {
+        1
+    }
+}
+
+/// Flags set to `false` are not claims.
+impl Evaluator for Modest {
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            batched_projection: false,
+            ..Default::default()
+        }
+    }
+}

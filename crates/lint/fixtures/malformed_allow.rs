@@ -1,0 +1,16 @@
+//! Escape comments that must be rejected rather than silently ignored.
+
+fn typo_in_rule_name() {
+    // lint: allow(no-aloc-hot-path) — rule name misspelled
+    let _ = 1;
+}
+
+fn missing_reason() {
+    // lint: allow(no-wallclock-outside-stop)
+    let _ = 2;
+}
+
+fn unparsable_marker() {
+    // lint: disable everything please
+    let _ = 3;
+}

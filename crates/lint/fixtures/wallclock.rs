@@ -1,0 +1,22 @@
+//! Seeded violations for the `no-wallclock-outside-stop` rule.
+
+use std::time::Instant;
+
+fn raw_timestamp() -> Instant {
+    Instant::now() // line 6: direct wall-clock read
+}
+
+fn deadline_math() -> bool {
+    let deadline = std::time::Instant::now(); // line 10: fully qualified path
+    deadline.elapsed().as_nanos() > 0
+}
+
+fn allowed_with_reason() -> Instant {
+    // lint: allow(no-wallclock-outside-stop) — fixture: escape accepted with a reason
+    Instant::now()
+}
+
+fn mentions_in_text_do_not_fire() {
+    let _doc = "call Instant::now() at your peril";
+    // a comment saying Instant::now() is also fine
+}

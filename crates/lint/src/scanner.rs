@@ -1,0 +1,400 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The lint rules need to see identifiers, punctuation, brace structure and
+//! comments with accurate line numbers, while *not* being fooled by pattern
+//! text inside string literals or commented-out code.  A full Rust parser is
+//! neither available offline nor necessary: like the vendored
+//! `serde_derive`'s hand-written item parser, this scanner handles exactly
+//! the token shapes the rules consume — line and (nested) block comments,
+//! plain/raw/byte strings, char literals vs lifetimes, identifiers, numbers
+//! and punctuation — and leaves everything else as single-character punct
+//! tokens.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `impl`, `cost_if_swap`, ...).
+    Ident,
+    /// Lifetime such as `'a` (kept distinct so it never looks like a char).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String, raw string, byte string or char literal (contents opaque).
+    Literal,
+    /// `::` — kept as one token because every rule matches paths.
+    PathSep,
+    /// Any other punctuation, one character per token.
+    Punct,
+}
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (for [`TokenKind::Literal`] only the opening quote).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `//` or `/* */` comment with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the first character of the comment.
+    pub line: u32,
+    /// 1-based line of the last character (differs for block comments).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// The output of [`scan`]: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `source`.  The scanner never fails: unrecognized bytes become
+/// single-character punct tokens, which at worst makes a rule miss — the
+/// fixture suite pins the shapes that must not be missed.
+#[must_use]
+pub fn scan(source: &str) -> Scanned {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: text.trim().to_string(),
+                });
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let text: String = chars[start..end].iter().collect();
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: text.trim().to_string(),
+                });
+            }
+            '"' => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"".to_string(),
+                    line,
+                });
+                i = skip_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1);
+                let is_char = match next {
+                    Some('\\') => true,
+                    Some(&n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+                    _ => false,
+                };
+                if is_char {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "'".to_string(),
+                        line,
+                    });
+                    i = skip_char_literal(&chars, i, &mut line);
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                out.tokens.push(Token {
+                    kind: TokenKind::PathSep,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"`, `r#"`, `b"`, `br#"` ...
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                    && matches!(chars.get(i), Some('"') | Some('#'));
+                if is_str_prefix && looks_like_raw_string(&chars, i) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text,
+                        line,
+                    });
+                    i = skip_raw_string(&chars, i, &mut line);
+                } else if is_str_prefix && chars.get(i) == Some(&'"') {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text,
+                        line,
+                    });
+                    i = skip_string(&chars, i, &mut line);
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // Stop a float scan at `1..` (range) or `1.method()`.
+                    if chars[i] == '.' && !chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            other => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: other.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `i` points at the opening `"`; returns the index past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// `i` points at the opening `'` of a char literal.
+fn skip_char_literal(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// After an `r`/`br` prefix, does `chars[i..]` start `#*"` (a raw string)?
+fn looks_like_raw_string(chars: &[char], mut i: usize) -> bool {
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    chars.get(i) == Some(&'"')
+}
+
+/// `i` points just past the `r`/`br` prefix; returns the index past the
+/// closing quote+hashes.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &str) -> Vec<String> {
+        scan(s)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let s = scan(r#"let x = "Instant::now() .clone()"; y"#);
+        assert!(s.tokens.iter().all(|t| t.text != "Instant"));
+        assert_eq!(
+            idents(r#"let x = "Instant::now()"; y"#),
+            vec!["let", "x", "y"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = "let p = r#\"Ordering::SeqCst \" quote\"#; done";
+        assert_eq!(idents(src), vec!["let", "p", "done"]);
+    }
+
+    #[test]
+    fn comments_are_separated_from_tokens() {
+        let s = scan("a // trailing Instant::now()\n/* block\nOrdering */ b");
+        assert_eq!(
+            s.tokens.iter().map(|t| &t.text).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("Instant"));
+        assert_eq!(s.comments[1].line, 2);
+        assert_eq!(s.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ x");
+        assert_eq!(s.tokens.len(), 1);
+        assert!(s.tokens[0].is_ident("x"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'y'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let s = scan("Instant::now()");
+        assert!(s.tokens[0].is_ident("Instant"));
+        assert_eq!(s.tokens[1].kind, TokenKind::PathSep);
+        assert!(s.tokens[2].is_ident("now"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let s = scan("let a = \"x\ny\nz\";\nInstant");
+        let inst = s.tokens.iter().find(|t| t.is_ident("Instant")).unwrap();
+        assert_eq!(inst.line, 4);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_eat_dots() {
+        let s = scan("for i in 0..n {}");
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "0"));
+        assert!(s.tokens.iter().any(|t| t.is_ident("n")));
+    }
+}

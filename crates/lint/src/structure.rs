@@ -1,0 +1,300 @@
+//! A structural pass over the token stream: which `fn` bodies live in which
+//! `impl` blocks.
+//!
+//! The rules need just enough structure to answer two questions — "is this
+//! token inside the body of a hot-path method of an `impl` block?" (rule
+//! `no-alloc-hot-path` must not fire on the *documented* allocate-and-recompute
+//! defaults in the `trait Evaluator` declaration itself) and "which methods
+//! does this `impl Evaluator for T` block define?" (rule
+//! `incremental-contract-complete`).  Brace matching over the scanned tokens
+//! answers both without a full parser: string/comment contents are already
+//! gone, so every `{`/`}` seen here is real code structure.
+
+use std::ops::Range;
+
+use crate::scanner::{Token, TokenKind};
+
+/// What kind of declaration a brace-delimited block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    /// `impl ... { }` — carries an index into [`Structure::impls`].
+    Impl(usize),
+    /// `trait ... { }` (default method bodies live here).
+    Trait,
+    /// `fn ... { }` — carries an index into [`Structure::fns`].
+    Fn(usize),
+    /// Any other brace pair: control flow, struct literals, `mod`, `match`...
+    Other,
+}
+
+/// A function definition found in the stream.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *excluding* the outer braces.
+    pub body: Range<usize>,
+    /// Whether the function is a direct item of an `impl` block.
+    pub in_impl: bool,
+    /// The enclosing impl block's index into [`Structure::impls`], if any.
+    pub impl_id: Option<usize>,
+}
+
+/// An `impl` block found in the stream.
+#[derive(Debug)]
+pub struct ImplSpan {
+    /// Line of the `impl` keyword.
+    pub line: u32,
+    /// Whether the header has the shape `impl ... Evaluator ... for ...`.
+    pub is_evaluator_impl: bool,
+    /// The implementing type's leading identifier (after `for`), for messages.
+    pub type_name: String,
+    /// Names of the functions defined directly inside this block.
+    pub fn_names: Vec<String>,
+}
+
+/// All structure recovered from one file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// Every function with a body, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Every `impl` block, in source order.
+    pub impls: Vec<ImplSpan>,
+}
+
+/// A declaration seen but whose `{` has not arrived yet.
+#[derive(Debug)]
+enum Pending {
+    Impl {
+        line: u32,
+        saw_for: bool,
+        saw_evaluator: bool,
+        type_name: String,
+    },
+    Trait,
+    Fn {
+        name: String,
+        line: u32,
+    },
+}
+
+/// Can a declaration keyword at token `idx` actually start an item here?
+/// Filters out `impl Trait` in type position and `fn(...)` pointer types:
+/// items only follow the start of file, `{`, `}`, `;`, a closed attribute
+/// (`]`) or a modifier keyword.
+fn at_item_position(tokens: &[Token], idx: usize) -> bool {
+    let Some(prev) = idx.checked_sub(1).map(|p| &tokens[p]) else {
+        return true;
+    };
+    match prev.kind {
+        TokenKind::Punct => matches!(prev.text.as_str(), "{" | "}" | ";" | "]"),
+        TokenKind::Ident => matches!(
+            prev.text.as_str(),
+            "pub" | "unsafe" | "const" | "async" | "extern" | "default" | "crate" | "super"
+        ),
+        // `pub(crate)` closes with `)` which the Punct arm rejects; accept the
+        // closing paren only when the path back leads to `pub(`.
+        _ => false,
+    }
+}
+
+/// Recover [`Structure`] from a scanned token stream.
+#[must_use]
+pub fn analyze(tokens: &[Token]) -> Structure {
+    let mut st = Structure::default();
+    let mut stack: Vec<BlockKind> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut body_stack: Vec<(usize, usize)> = Vec::new(); // (fn_id, open token idx)
+
+    let mut idx = 0usize;
+    while idx < tokens.len() {
+        let tok = &tokens[idx];
+        match tok.kind {
+            TokenKind::Ident => match tok.text.as_str() {
+                "impl" if pending.is_none() && at_item_position(tokens, idx) => {
+                    pending = Some(Pending::Impl {
+                        line: tok.line,
+                        saw_for: false,
+                        saw_evaluator: false,
+                        type_name: String::new(),
+                    });
+                }
+                "trait" if pending.is_none() && at_item_position(tokens, idx) => {
+                    pending = Some(Pending::Trait);
+                }
+                "fn" if pending.is_none() && at_item_position(tokens, idx) => {
+                    let name = tokens
+                        .get(idx + 1)
+                        .filter(|t| t.kind == TokenKind::Ident)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    pending = Some(Pending::Fn {
+                        name,
+                        line: tok.line,
+                    });
+                }
+                "for" => {
+                    if let Some(Pending::Impl { saw_for, .. }) = pending.as_mut() {
+                        *saw_for = true;
+                    }
+                }
+                "Evaluator" => {
+                    if let Some(Pending::Impl {
+                        saw_for,
+                        saw_evaluator,
+                        ..
+                    }) = pending.as_mut()
+                    {
+                        if !*saw_for {
+                            *saw_evaluator = true;
+                        }
+                    }
+                }
+                other => {
+                    if let Some(Pending::Impl {
+                        saw_for: true,
+                        type_name,
+                        ..
+                    }) = pending.as_mut()
+                    {
+                        if type_name.is_empty() {
+                            *type_name = other.to_string();
+                        }
+                    }
+                }
+            },
+            TokenKind::Punct if tok.is_punct('{') => {
+                let kind = match pending.take() {
+                    Some(Pending::Impl {
+                        line,
+                        saw_for,
+                        saw_evaluator,
+                        type_name,
+                    }) => {
+                        st.impls.push(ImplSpan {
+                            line,
+                            is_evaluator_impl: saw_for && saw_evaluator,
+                            type_name,
+                            fn_names: Vec::new(),
+                        });
+                        BlockKind::Impl(st.impls.len() - 1)
+                    }
+                    Some(Pending::Trait) => BlockKind::Trait,
+                    Some(Pending::Fn { name, line }) => {
+                        let (in_impl, impl_id) = match stack.last() {
+                            Some(&BlockKind::Impl(i)) => (true, Some(i)),
+                            _ => (false, None),
+                        };
+                        if let Some(i) = impl_id {
+                            st.impls[i].fn_names.push(name.clone());
+                        }
+                        st.fns.push(FnSpan {
+                            name,
+                            line,
+                            body: idx + 1..idx + 1, // end patched on close
+                            in_impl,
+                            impl_id,
+                        });
+                        body_stack.push((st.fns.len() - 1, idx));
+                        BlockKind::Fn(st.fns.len() - 1)
+                    }
+                    None => BlockKind::Other,
+                };
+                stack.push(kind);
+            }
+            TokenKind::Punct if tok.is_punct('}') => {
+                if let Some(BlockKind::Fn(fn_id)) = stack.pop() {
+                    if let Some(&(id, open)) = body_stack.last() {
+                        if id == fn_id {
+                            body_stack.pop();
+                            st.fns[fn_id].body = open + 1..idx;
+                        }
+                    }
+                }
+            }
+            TokenKind::Punct if tok.is_punct(';') => {
+                // A body-less declaration (trait method signature, fn-pointer
+                // type alias): whatever was pending never opens a block.
+                pending = None;
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn analyze_src(src: &str) -> Structure {
+        analyze(&scan(src).tokens)
+    }
+
+    #[test]
+    fn impl_fns_are_attributed() {
+        let st = analyze_src(
+            "impl Evaluator for Foo {\n  fn size(&self) -> usize { 1 }\n  fn cost(&self) -> i64 { if true { 0 } else { 1 } }\n}",
+        );
+        assert_eq!(st.impls.len(), 1);
+        assert!(st.impls[0].is_evaluator_impl);
+        assert_eq!(st.impls[0].type_name, "Foo");
+        assert_eq!(st.impls[0].fn_names, vec!["size", "cost"]);
+        assert!(st.fns.iter().all(|f| f.in_impl));
+    }
+
+    #[test]
+    fn trait_default_bodies_are_not_impl_fns() {
+        let st = analyze_src(
+            "trait Evaluator {\n  fn cost_if_swap(&self) -> i64 { let v = x.to_vec(); 0 }\n}",
+        );
+        assert_eq!(st.impls.len(), 0);
+        assert_eq!(st.fns.len(), 1);
+        assert!(!st.fns[0].in_impl);
+    }
+
+    #[test]
+    fn inherent_impls_are_not_evaluator_impls() {
+        let st = analyze_src("impl Foo {\n  fn helper(&self) {}\n}");
+        assert_eq!(st.impls.len(), 1);
+        assert!(!st.impls[0].is_evaluator_impl);
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_a_block() {
+        let st = analyze_src("fn f() -> impl Iterator<Item = u8> { std::iter::empty() }");
+        assert_eq!(st.impls.len(), 0);
+        assert_eq!(st.fns.len(), 1);
+        assert_eq!(st.fns[0].name, "f");
+    }
+
+    #[test]
+    fn generic_forwarding_impl_is_recognized() {
+        let st = analyze_src(
+            "impl<E: Evaluator + ?Sized> Evaluator for &mut E {\n  fn size(&self) -> usize { 0 }\n}",
+        );
+        assert_eq!(st.impls.len(), 1);
+        assert!(st.impls[0].is_evaluator_impl);
+    }
+
+    #[test]
+    fn trait_method_signatures_do_not_leak_pending_fns() {
+        let st = analyze_src("trait T { fn a(&self); fn b(&self) { () } }");
+        assert_eq!(st.fns.len(), 1);
+        assert_eq!(st.fns[0].name, "b");
+    }
+
+    #[test]
+    fn body_ranges_cover_nested_braces() {
+        let src = "impl A { fn cost_if_swap(&self) { if x { y.clone() } } }";
+        let st = analyze_src(src);
+        assert_eq!(st.fns.len(), 1);
+        let tokens = scan(src).tokens;
+        let body = &tokens[st.fns[0].body.clone()];
+        assert!(body.iter().any(|t| t.is_ident("clone")));
+    }
+}

@@ -1,0 +1,152 @@
+//! The fixture suite: every rule must fire on its seeded-violation file
+//! with the right rule name and line, the escape comment must suppress, and
+//! malformed escapes must be rejected.
+
+use std::path::Path;
+
+use cbls_lint::{lint_file, rules, Finding};
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    lint_file(&path, &format!("fixtures/{name}")).expect("fixture readable")
+}
+
+fn rule_lines(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn no_alloc_hot_path_fires_on_every_banned_shape() {
+    let findings = lint_fixture("no_alloc_hot_path.rs");
+    // One finding per seeded allocation, at the seeded line, nothing else.
+    assert_eq!(
+        rule_lines(&findings, rules::NO_ALLOC_HOT_PATH),
+        vec![15, 16, 17, 22, 28, 33, 34],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 7, "findings: {findings:#?}");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    for pattern in [
+        ".to_vec()",
+        ".clone()",
+        ".collect()",
+        "Vec::new()",
+        "Box::new()",
+        "String::from()",
+        "vec![..]",
+    ] {
+        assert!(
+            messages.iter().any(|m| m.contains(pattern)),
+            "no finding mentions {pattern}: {messages:?}"
+        );
+    }
+}
+
+#[test]
+fn no_alloc_hot_path_escapes_and_trait_defaults_are_clean() {
+    let findings = lint_fixture("no_alloc_hot_path.rs");
+    // The `Allowed` impl (escaped) and the trait default body contribute
+    // nothing: all findings live in the `Fixture` impl (lines < 45).
+    assert!(
+        findings.iter().all(|f| f.line < 45),
+        "findings leaked past the seeded impl: {findings:#?}"
+    );
+}
+
+#[test]
+fn wallclock_rule_fires_outside_stop_and_bench() {
+    let findings = lint_fixture("wallclock.rs");
+    assert_eq!(
+        rule_lines(&findings, rules::NO_WALLCLOCK_OUTSIDE_STOP),
+        vec![6, 10],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn wallclock_rule_respects_the_exempt_files() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("wallclock.rs");
+    let source = std::fs::read_to_string(path).unwrap();
+    // The same source reported under an exempt path yields no wall-clock
+    // findings (the escape comment then goes unused, which is fine).
+    for exempt in ["crates/core/src/stop.rs", "crates/bench/src/throughput.rs"] {
+        let findings = cbls_lint::lint_source(exempt, &source);
+        assert_eq!(
+            rule_lines(&findings, rules::NO_WALLCLOCK_OUTSIDE_STOP),
+            Vec::<u32>::new(),
+            "{exempt} must be exempt"
+        );
+    }
+}
+
+#[test]
+fn atomics_rule_requires_justifications() {
+    let findings = lint_fixture("atomics.rs");
+    assert_eq!(
+        rule_lines(&findings, rules::ATOMICS_ORDERING_JUSTIFIED),
+        vec![6, 19],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 2);
+    // The SeqCst finding must say what a justification needs to rule out.
+    let seqcst = findings.iter().find(|f| f.line == 19).unwrap();
+    assert!(seqcst.message.contains("SeqCst"));
+    assert!(seqcst.message.contains("Acquire/Release"));
+}
+
+#[test]
+fn incremental_contract_rule_catches_overclaiming_profiles() {
+    let findings = lint_fixture("incremental_contract.rs");
+    let lines = rule_lines(&findings, rules::INCREMENTAL_CONTRACT_COMPLETE);
+    assert_eq!(lines, vec![13, 13], "findings: {findings:#?}");
+    assert_eq!(findings.len(), 2);
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("`executed_swap`")));
+    assert!(messages.iter().any(|m| m.contains("`touched_by_swap`")));
+    assert!(
+        messages.iter().all(|m| m.contains("Overclaiming")),
+        "honest/silent/modest impls must stay clean: {messages:?}"
+    );
+}
+
+#[test]
+fn malformed_escapes_are_findings_not_silence() {
+    let findings = lint_fixture("malformed_allow.rs");
+    assert_eq!(
+        rule_lines(&findings, rules::MALFORMED_LINT_ALLOW),
+        vec![4, 9, 14],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn the_tree_itself_is_clean() {
+    // The workspace must hold its own contracts: running the linter over
+    // `crates/*/src` from the test keeps `cargo test -q` equivalent to the
+    // CI lint job.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let (findings, scanned) = cbls_lint::lint_tree(root).expect("tree walk");
+    assert!(
+        findings.is_empty(),
+        "cbls-lint found violations:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // All nine product crates plus the linter itself are in scope.
+    assert!(scanned >= 60, "only {scanned} files scanned");
+}

@@ -14,6 +14,15 @@
 //! [`ModelEvaluator`](crate::ModelEvaluator) aggregates weighted terms into
 //! a full [`cbls_core::Evaluator`], dispatching each hook only to the terms
 //! whose variable set contains a swapped position.
+//!
+//! The swap hooks (`delta_swap`, `apply_swap`, `touched_vars`) are on the
+//! engine's hot path and must be allocation-free in steady state (enforced
+//! by the alloc-free catalog sweep in `tests/alloc_free.rs`).  Terms whose
+//! hooks need a variable-length worklist keep it in a `RefCell` scratch
+//! buffer sized at `bind` time — the probe hooks take `&self`, so interior
+//! mutability is the only way to reuse the buffer across probes.
+
+use std::cell::RefCell;
 
 /// A read-only view of the decoded values of a configuration: slot `s`
 /// holds `vals[perm[s]]`.
@@ -415,6 +424,11 @@ struct Pairwise {
     /// Occurrences per distance value (`AllDistinct` only).
     occ: Vec<u32>,
     viol: i64,
+    /// Reusable affected-pair worklist for the swap hooks; interior
+    /// mutability because the probe hooks take `&self`.
+    scratch_pairs: RefCell<Vec<u32>>,
+    /// Reusable `(distance, shift)` worklist for the `AllDistinct` hooks.
+    scratch_deltas: RefCell<Vec<(i64, i64)>>,
 }
 
 impl Pairwise {
@@ -443,15 +457,18 @@ impl Pairwise {
             let (min_v, max_v) = val_range(vals);
             self.occ = vec![0; table_len(0, max_v - min_v, "pairwise-distance")];
         }
+        // Size the scratch worklists for the worst swap up front so the
+        // hooks never grow them.
+        let max_deg = self.incident.iter().map(Vec::len).max().unwrap_or(0);
+        self.scratch_pairs.get_mut().reserve(2 * max_deg);
+        self.scratch_deltas.get_mut().reserve(4 * max_deg);
     }
 
-    /// The deduplicated pair indices incident to `i` or `j` (both lists are
-    /// sorted, so a merge walk suffices).
-    fn affected(&self, i: usize, j: usize) -> Vec<u32> {
-        let (a, b) = (&self.incident[i], &self.incident[j]);
-        let mut out = Vec::with_capacity(a.len() + b.len());
-        merge_sorted(a, b, |p| out.push(p));
-        out
+    /// Fill `out` with the deduplicated pair indices incident to `i` or `j`
+    /// (both lists are sorted, so a merge walk suffices).
+    fn affected_into(&self, i: usize, j: usize, out: &mut Vec<u32>) {
+        out.clear();
+        merge_sorted(&self.incident[i], &self.incident[j], |p| out.push(p));
     }
 
     fn rebuild(&mut self, dv: Dv) -> i64 {
@@ -516,12 +533,14 @@ impl Pairwise {
     }
 
     fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
-        let affected = self.affected(i, j);
+        let mut affected = self.scratch_pairs.borrow_mut();
+        self.affected_into(i, j, &mut affected);
         match self.mode {
             DistanceMode::AllDistinct => {
                 // Remove the old distances, then add the new ones, tracking
                 // pending occurrence adjustments exactly.
-                let mut adjust: Vec<(i64, i64)> = Vec::with_capacity(2 * affected.len());
+                let mut adjust = self.scratch_deltas.borrow_mut();
+                adjust.clear();
                 let occ_now = |adjust: &[(i64, i64)], occ: &[u32], d: i64| {
                     let mut cur = i64::from(occ[d as usize]);
                     for &(ad, v) in adjust {
@@ -532,14 +551,14 @@ impl Pairwise {
                     cur
                 };
                 let mut delta = 0i64;
-                for &p in &affected {
+                for &p in affected.iter() {
                     let d = Self::dist(dv, self.pairs[p as usize]);
                     if occ_now(&adjust, &self.occ, d) > 1 {
                         delta -= 1;
                     }
                     adjust.push((d, -1));
                 }
-                for &p in &affected {
+                for &p in affected.iter() {
                     let d = Self::dist_swapped(dv, self.pairs[p as usize], i, j);
                     if occ_now(&adjust, &self.occ, d) >= 1 {
                         delta += 1;
@@ -560,7 +579,9 @@ impl Pairwise {
     }
 
     fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
-        let affected = self.affected(i, j);
+        // Take the worklist out so the loop below can mutate `self.occ`.
+        let mut affected = std::mem::take(self.scratch_pairs.get_mut());
+        self.affected_into(i, j, &mut affected);
         let mut delta = 0i64;
         match self.mode {
             DistanceMode::AllDistinct => {
@@ -586,13 +607,15 @@ impl Pairwise {
                 }
             }
         }
+        *self.scratch_pairs.get_mut() = affected;
         self.viol += delta;
         delta
     }
 
     fn touched_vars(&self, dv_after: Dv, i: usize, j: usize, out: &mut Vec<usize>) {
-        let affected = self.affected(i, j);
-        for &p in &affected {
+        let mut affected = self.scratch_pairs.borrow_mut();
+        self.affected_into(i, j, &mut affected);
+        for &p in affected.iter() {
             let (a, b) = self.pairs[p as usize];
             out.push(a);
             out.push(b);
@@ -601,7 +624,8 @@ impl Pairwise {
             // A non-incident pair's error flips only when one of the changed
             // distance values crossed the duplicated/unique boundary; in that
             // case conservatively dirty the whole term.
-            let mut deltas: Vec<(i64, i64)> = Vec::with_capacity(2 * affected.len());
+            let mut deltas = self.scratch_deltas.borrow_mut();
+            deltas.clear();
             let bump = |deltas: &mut Vec<(i64, i64)>, d: i64, v: i64| {
                 for entry in deltas.iter_mut() {
                     if entry.0 == d {
@@ -611,7 +635,7 @@ impl Pairwise {
                 }
                 deltas.push((d, v));
             };
-            for &p in &affected {
+            for &p in affected.iter() {
                 let pp = self.pairs[p as usize];
                 bump(&mut deltas, Self::dist_swapped(dv_after, pp, i, j), -1);
                 bump(&mut deltas, Self::dist(dv_after, pp), 1);
@@ -676,6 +700,9 @@ struct Count {
     /// `is_counted[v]` for every slot.
     is_counted: Vec<bool>,
     viol: i64,
+    /// Reusable affected-entry worklist for the swap hooks; interior
+    /// mutability because the probe hooks take `&self`.
+    scratch_entries: RefCell<Vec<u32>>,
 }
 
 impl Count {
@@ -707,6 +734,8 @@ impl Count {
             );
             *slot = Some(e as u32);
         }
+        // The worklist never holds more than one index per entry.
+        self.scratch_entries.get_mut().reserve(self.entries.len());
     }
 
     #[inline]
@@ -756,12 +785,12 @@ impl Count {
         err
     }
 
-    /// The deduplicated entries whose mismatch a swap of `(i, j)` may
-    /// change: entries tracking the two moving values (when exactly one
-    /// endpoint is counted, so the occurrence table shifts) and entries
-    /// targeted by either endpoint.
-    fn affected_entries(&self, vi: i64, vj: i64, i: usize, j: usize) -> Vec<u32> {
-        let mut out: Vec<u32> = Vec::with_capacity(4);
+    /// Fill `out` with the deduplicated entries whose mismatch a swap of
+    /// `(i, j)` may change: entries tracking the two moving values (when
+    /// exactly one endpoint is counted, so the occurrence table shifts) and
+    /// entries targeted by either endpoint.
+    fn affected_entries_into(&self, vi: i64, vj: i64, i: usize, j: usize, out: &mut Vec<u32>) {
+        out.clear();
         let push = |out: &mut Vec<u32>, e: u32| {
             if !out.contains(&e) {
                 out.push(e);
@@ -770,16 +799,15 @@ impl Count {
         if self.is_counted[i] != self.is_counted[j] {
             for v in [vi, vj] {
                 if let Some(e) = self.entry_of[self.idx(v)] {
-                    push(&mut out, e);
+                    push(out, e);
                 }
             }
         }
         for s in [i, j] {
             for &e in &self.targets_of[s] {
-                push(&mut out, e);
+                push(out, e);
             }
         }
-        out
     }
 
     /// Net occurrence shift of the swap: `Some((removed, added))` when
@@ -794,13 +822,14 @@ impl Count {
 
     fn delta_swap(&self, dv: Dv, i: usize, j: usize) -> i64 {
         let (vi, vj) = (dv.get(i), dv.get(j));
-        let affected = self.affected_entries(vi, vj, i, j);
+        let mut affected = self.scratch_entries.borrow_mut();
+        self.affected_entries_into(vi, vj, i, j, &mut affected);
         if affected.is_empty() {
             return 0;
         }
         let shift = self.occ_shift(vi, vj, i, j);
         let mut delta = 0i64;
-        for &e in &affected {
+        for &e in affected.iter() {
             let (value, target) = self.entries[e as usize];
             let mut occ = i64::from(self.occ[self.idx(value)]);
             if let Some((removed, added)) = shift {
@@ -820,8 +849,11 @@ impl Count {
     fn apply_swap(&mut self, dv_after: Dv, i: usize, j: usize) -> i64 {
         // Pre-swap values are the post-swap view swapped back.
         let (vi, vj) = (dv_after.get(j), dv_after.get(i));
-        let affected = self.affected_entries(vi, vj, i, j);
+        // Take the worklist out so the occurrence shift can mutate `self.occ`.
+        let mut affected = std::mem::take(self.scratch_entries.get_mut());
+        self.affected_entries_into(vi, vj, i, j, &mut affected);
         if affected.is_empty() {
+            *self.scratch_entries.get_mut() = affected;
             return 0;
         }
         let mut delta = 0i64;
@@ -839,6 +871,7 @@ impl Count {
         for &e in &affected {
             delta += self.mismatch_with(&self.occ, dv_after, e as usize);
         }
+        *self.scratch_entries.get_mut() = affected;
         self.viol += delta;
         delta
     }
@@ -1030,6 +1063,8 @@ impl Term {
                 incident,
                 occ: Vec::new(),
                 viol: 0,
+                scratch_pairs: RefCell::new(Vec::new()),
+                scratch_deltas: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -1079,6 +1114,7 @@ impl Term {
                 targets_of,
                 is_counted,
                 viol: 0,
+                scratch_entries: RefCell::new(Vec::new()),
             }),
         }
     }

@@ -28,9 +28,11 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use cbls_core::{AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl};
+use cbls_core::{
+    monotonic_now, AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl,
+};
 use rayon::prelude::*;
 
 use crate::seeds::WalkSeeds;
@@ -433,7 +435,7 @@ where
     X: WalkExecutor,
     F: EvaluatorFactory,
 {
-    let started = Instant::now();
+    let started = monotonic_now();
     // One deadline for the whole batch, computed once: every walk self-cancels
     // at the same monotonic instant, whatever thread it runs on and however
     // late the scheduler launches it.

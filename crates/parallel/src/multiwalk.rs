@@ -220,8 +220,7 @@ mod tests {
     use super::*;
     use crate::executor::SequentialExecutor;
     use crate::telemetry::DistributionSink;
-    use cbls_core::{AdaptiveSearch, Evaluator};
-    use std::time::Instant;
+    use cbls_core::{monotonic_now, AdaptiveSearch, Evaluator};
 
     /// Cost = number of misplaced values; solvable by every walk quickly.
     #[derive(Clone)]
@@ -328,7 +327,7 @@ mod tests {
                     .build(),
             )
             .with_timeout(Duration::from_millis(50));
-        let started = Instant::now();
+        let started = monotonic_now();
         let result = run_threads(&|| Hopeless(8), &cfg);
         assert!(!result.solved());
         assert!(started.elapsed() < Duration::from_secs(10));

@@ -247,12 +247,16 @@ impl CountingSink {
     /// Number of events seen so far.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // Relaxed: a monotonic counter read after the batch joins; the join
+        // itself is the synchronization point, no ordering is carried here.
         self.count.load(Ordering::Relaxed)
     }
 }
 
 impl EventSink for CountingSink {
     fn record(&self, _event: &WalkEvent) {
+        // Relaxed: pure event counting on the hot path; no other memory is
+        // published through this counter.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 }

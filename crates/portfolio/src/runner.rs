@@ -191,9 +191,8 @@ mod tests {
     use super::*;
     use crate::portfolio::PortfolioMember;
     use crate::schedule::Schedule;
-    use cbls_core::{Evaluator, SearchConfig};
+    use cbls_core::{monotonic_now, Evaluator, SearchConfig};
     use cbls_parallel::{DistributionSink, SequentialExecutor};
-    use std::time::Instant;
 
     #[derive(Clone)]
     struct Sort(usize);
@@ -296,7 +295,7 @@ mod tests {
         let member = PortfolioMember::new("long", search, Schedule::fixed(u64::MAX / 8, 0));
         let portfolio = Portfolio::cycled(std::slice::from_ref(&member), 2)
             .with_timeout(Duration::from_millis(50));
-        let started = Instant::now();
+        let started = monotonic_now();
         let result = run_portfolio_threads(&|| Hopeless(8), &portfolio);
         assert!(!result.solved());
         assert!(started.elapsed() < Duration::from_secs(10));
