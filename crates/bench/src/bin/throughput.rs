@@ -8,7 +8,7 @@
 //! cargo run --release -p cbls-bench --bin throughput -- --out path.json
 //! ```
 
-use cbls_bench::throughput::{run_report, ThroughputConfig};
+use cbls_bench::throughput::{run_report, ThroughputConfig, RECORDER_OVERHEAD_BUDGET};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +50,31 @@ fn main() {
         100.0 * overhead.overhead_fraction,
         overhead.events,
     );
+
+    for overhead in &report.recorder_overhead {
+        println!(
+            "{:<24} {:>12.0} iters/sec with recorder,  {:>12.0} without  ({:+.2}% overhead, {} events)",
+            format!("recorder:{}", overhead.id),
+            overhead.iters_per_sec_events_on,
+            overhead.iters_per_sec_events_off,
+            100.0 * overhead.overhead_fraction,
+            overhead.events,
+        );
+    }
+    if !quick {
+        // The observability acceptance bar: attaching the flight recorder may
+        // cost at most 5% of throughput on any suite benchmark.  Quick mode
+        // skips the assertion — its short runs are dominated by noise.
+        for overhead in &report.recorder_overhead {
+            assert!(
+                overhead.overhead_fraction <= RECORDER_OVERHEAD_BUDGET,
+                "flight recorder costs {:.2}% on {} (budget {:.0}%)",
+                100.0 * overhead.overhead_fraction,
+                overhead.id,
+                100.0 * RECORDER_OVERHEAD_BUDGET,
+            );
+        }
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     match std::fs::write(&out, json + "\n") {

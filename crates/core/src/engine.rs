@@ -19,7 +19,7 @@ use as_rng::RandomSource;
 
 use crate::config::SearchConfig;
 use crate::evaluator::Evaluator;
-use crate::observer::{NoObserver, SearchObserver};
+use crate::observer::{NoObserver, SearchObserver, SearchPhase};
 use crate::outcome::{SearchOutcome, SearchStats, TerminationReason};
 use crate::stop::StopControl;
 
@@ -281,6 +281,12 @@ impl AdaptiveSearch {
         // iteration polls, exactly like `iterations % interval == 0` did.
         let mut until_stop_check: u64 = 0;
 
+        // Phase-profiling opt-in, read once per solve call: when the observer
+        // declines, every instrumented site below is a single predictable
+        // branch — no clock reads, no observer calls — and the RNG stream is
+        // untouched either way, so profiled runs stay bit-identical.
+        let profile = observer.observes_phases();
+
         let mut restart: u64 = 0;
         'restarts: while let Some(restart_budget) = budget_of(restart) {
             if restart > 0 {
@@ -336,6 +342,7 @@ impl AdaptiveSearch {
                 stats.iterations += 1;
 
                 let now = stats.iterations;
+                let scan_started = profile.then(monotonic_now);
                 let (move_i, move_j, best_swap_cost) = if cfg.exhaustive {
                     // --- exhaustive mode: best swap over all variable pairs ---
                     let mut best_cost = i64::MAX;
@@ -385,14 +392,23 @@ impl AdaptiveSearch {
                     }
 
                     if ties.is_empty() {
+                        // The aborted selection still counts as scan time;
+                        // the reset itself is projection maintenance.
+                        if let Some(t0) = scan_started {
+                            observer.on_phase(SearchPhase::CandidateScan, nanos_since(t0));
+                        }
                         // Every variable is frozen: unblock the search with a
                         // partial reset, as the C framework does.
                         stats.resets += 1;
+                        let reset_started = profile.then(monotonic_now);
                         Self::partial_reset(&mut perm, reset_count, rng);
                         cost = eval.init(&perm);
                         eval.project_errors_full(&perm, &mut err_cache);
                         marks.iter_mut().for_each(|m| *m = 0);
                         marked_since_reset = 0;
+                        if let Some(t0) = reset_started {
+                            observer.on_phase(SearchPhase::Projection, nanos_since(t0));
+                        }
                         continue;
                     }
 
@@ -434,6 +450,9 @@ impl AdaptiveSearch {
                     };
                     (worst, j, best_cost)
                 };
+                if let Some(t0) = scan_started {
+                    observer.on_phase(SearchPhase::CandidateScan, nanos_since(t0));
+                }
 
                 let delta = best_swap_cost - cost;
 
@@ -450,9 +469,14 @@ impl AdaptiveSearch {
                 };
 
                 if accept {
+                    let swap_started = profile.then(monotonic_now);
                     perm.swap(move_i, move_j);
                     eval.executed_swap(&perm, move_i, move_j);
+                    if let Some(t0) = swap_started {
+                        observer.on_phase(SearchPhase::SwapExecution, nanos_since(t0));
+                    }
                     if !cfg.exhaustive {
+                        let proj_started = profile.then(monotonic_now);
                         Self::refresh_projection(
                             eval,
                             &perm,
@@ -461,6 +485,9 @@ impl AdaptiveSearch {
                             &mut touched,
                             &mut err_cache,
                         );
+                        if let Some(t0) = proj_started {
+                            observer.on_phase(SearchPhase::Projection, nanos_since(t0));
+                        }
                     }
                     cost = best_swap_cost;
                     stats.swaps += 1;
@@ -471,9 +498,14 @@ impl AdaptiveSearch {
                 stats.local_minima += 1;
                 if delta > 0 && rng.bool_with_probability(cfg.prob_select_local_min) {
                     // Force the (worsening) move to escape the minimum.
+                    let swap_started = profile.then(monotonic_now);
                     perm.swap(move_i, move_j);
                     eval.executed_swap(&perm, move_i, move_j);
+                    if let Some(t0) = swap_started {
+                        observer.on_phase(SearchPhase::SwapExecution, nanos_since(t0));
+                    }
                     if !cfg.exhaustive {
+                        let proj_started = profile.then(monotonic_now);
                         Self::refresh_projection(
                             eval,
                             &perm,
@@ -482,6 +514,9 @@ impl AdaptiveSearch {
                             &mut touched,
                             &mut err_cache,
                         );
+                        if let Some(t0) = proj_started {
+                            observer.on_phase(SearchPhase::Projection, nanos_since(t0));
+                        }
                     }
                     cost = best_swap_cost;
                     stats.swaps += 1;
@@ -499,6 +534,7 @@ impl AdaptiveSearch {
                 marked_since_reset += 1;
                 if marked_since_reset >= reset_limit {
                     stats.resets += 1;
+                    let reset_started = profile.then(monotonic_now);
                     Self::partial_reset(&mut perm, reset_count, rng);
                     cost = eval.init(&perm);
                     if !cfg.exhaustive {
@@ -506,6 +542,9 @@ impl AdaptiveSearch {
                     }
                     marks.iter_mut().for_each(|m| *m = 0);
                     marked_since_reset = 0;
+                    if let Some(t0) = reset_started {
+                        observer.on_phase(SearchPhase::Projection, nanos_since(t0));
+                    }
                 }
             }
         }
@@ -555,6 +594,12 @@ impl AdaptiveSearch {
             perm.swap(a, b);
         }
     }
+}
+
+/// Monotonic nanoseconds elapsed since `start`, saturated into `u64` (which
+/// holds ~584 years of nanoseconds, so the cast cannot truncate in practice).
+fn nanos_since(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -964,6 +1009,62 @@ mod tests {
         assert!(trace.improvements.windows(2).all(|w| w[1].1 < w[0].1));
         assert!(trace.improvements.windows(2).all(|w| w[1].0 >= w[0].0));
         assert_eq!(trace.improvements.last().unwrap().1, observed.best_cost);
+    }
+
+    #[test]
+    fn phase_profiling_is_passive_and_covers_all_phases() {
+        use crate::observer::{SearchObserver, SearchPhase};
+
+        #[derive(Default)]
+        struct Profiler {
+            samples: [u64; 3],
+            nanos: [u64; 3],
+        }
+        impl SearchObserver for Profiler {
+            fn observes_phases(&self) -> bool {
+                true
+            }
+            fn on_phase(&mut self, phase: SearchPhase, elapsed_nanos: u64) {
+                self.samples[phase.index()] += 1;
+                self.nanos[phase.index()] += elapsed_nanos;
+            }
+        }
+
+        let config = SearchConfig::builder()
+            .max_iterations_per_restart(200)
+            .max_restarts(5)
+            .build();
+        let engine = AdaptiveSearch::new(config.clone());
+
+        let mut p1 = SortPermutation::new(24);
+        let plain = engine.solve(&mut p1, &mut rng(31));
+
+        let mut profiler = Profiler::default();
+        let mut p2 = SortPermutation::new(24);
+        let profiled = engine.solve_observed(
+            &mut p2,
+            &mut rng(31),
+            &StopControl::new(),
+            None,
+            |r| config.restart_budget(r),
+            &mut profiler,
+        );
+
+        // Profiling is passive: bit-identical trajectory and statistics.
+        assert_eq!(plain.stats, profiled.stats);
+        assert_eq!(plain.solution, profiled.solution);
+        assert_eq!(plain.best_cost, profiled.best_cost);
+
+        // Every iteration produced exactly one candidate-scan span (the run
+        // never breaks out of a scan), and every swap one execution span.
+        let scans = profiler.samples[SearchPhase::CandidateScan.index()];
+        let swaps = profiler.samples[SearchPhase::SwapExecution.index()];
+        let projections = profiler.samples[SearchPhase::Projection.index()];
+        assert_eq!(scans, profiled.stats.iterations);
+        assert_eq!(swaps, profiled.stats.swaps);
+        // Each executed swap refreshes the projection, each reset re-projects.
+        assert_eq!(projections, profiled.stats.swaps + profiled.stats.resets);
+        assert!(profiler.nanos.iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -44,8 +44,9 @@
 //! * [`StopControl`] — cooperative termination (stop flag + monotonic
 //!   deadline), the only communication the paper's independent walks ever
 //!   perform.
-//! * [`SearchObserver`] — passive restart / improvement hooks consumed by
-//!   the multi-walk executor's telemetry stream.
+//! * [`SearchObserver`] / [`SearchPhase`] — passive restart / improvement
+//!   hooks consumed by the multi-walk executor's telemetry stream, plus the
+//!   opt-in per-iteration phase spans behind the observability layer.
 //! * [`Summary`] — descriptive statistics over repeated runs.
 //! * [`consistency`] — the evaluator consistency harness: randomized checks
 //!   of the incremental contract that every problem crate's tests call.
@@ -69,7 +70,7 @@ mod summary;
 pub use config::{SearchConfig, SearchConfigBuilder};
 pub use engine::AdaptiveSearch;
 pub use evaluator::{Evaluator, EvaluatorFactory, IncrementalProfile};
-pub use observer::{NoObserver, SearchObserver};
+pub use observer::{NoObserver, SearchObserver, SearchPhase};
 pub use outcome::{SearchOutcome, SearchStats, TerminationReason};
 pub use stop::{monotonic_now, StopControl};
 pub use summary::Summary;

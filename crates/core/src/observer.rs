@@ -11,6 +11,67 @@
 //! Observation is strictly passive: an observer cannot influence the
 //! trajectory, the RNG stream or the statistics, so a run with any observer
 //! is bit-identical to the same run with [`NoObserver`].
+//!
+//! Besides the cold-edge hooks, an observer can opt into **phase profiling**
+//! by returning `true` from [`SearchObserver::observes_phases`]: the engine
+//! then wraps the three components of every iteration — candidate scan, swap
+//! execution, error projection (including partial resets) — in monotonic
+//! spans and reports each one through [`SearchObserver::on_phase`].  The
+//! opt-in is read once per solve call, so a declining observer costs the
+//! hot loop a single branch per instrumented site and zero clock reads.
+
+use serde::{Deserialize, Serialize};
+
+/// One component of an engine iteration, as attributed by phase profiling.
+///
+/// The three phases partition where `solve_inner` spends its time on the
+/// hot path; restart-boundary work (fresh permutations, initial projection)
+/// is deliberately unattributed — it is already observable through
+/// [`SearchObserver::on_restart`] and is not part of the per-iteration cost
+/// the paper's speedup model cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SearchPhase {
+    /// Selecting the move: worst-variable selection plus the best-swap scan
+    /// (or the full pair scan in exhaustive mode).  This is where
+    /// `cost_if_swap` probes happen.
+    CandidateScan,
+    /// Executing an accepted or forced move: `perm.swap` plus
+    /// `executed_swap` bookkeeping.
+    SwapExecution,
+    /// Maintaining the error projection: `project_errors` /
+    /// `project_errors_full` after an executed swap, and the partial-reset
+    /// path (reset + re-init + full re-projection).
+    Projection,
+}
+
+impl SearchPhase {
+    /// Every phase, in reporting order.
+    pub const ALL: [SearchPhase; 3] = [
+        SearchPhase::CandidateScan,
+        SearchPhase::SwapExecution,
+        SearchPhase::Projection,
+    ];
+
+    /// A dense index (0..3), stable across the trace schema.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SearchPhase::CandidateScan => 0,
+            SearchPhase::SwapExecution => 1,
+            SearchPhase::Projection => 2,
+        }
+    }
+
+    /// The phase's kebab-case name, as used by the trace exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchPhase::CandidateScan => "candidate-scan",
+            SearchPhase::SwapExecution => "swap-execution",
+            SearchPhase::Projection => "projection",
+        }
+    }
+}
 
 /// Passive callbacks fired by the engine at restart boundaries and on strict
 /// improvements of the run's best cost.
@@ -81,6 +142,25 @@ pub trait SearchObserver {
     fn on_improvement(&mut self, iteration: u64, cost: i64) {
         let _ = (iteration, cost);
     }
+
+    /// Whether this observer wants per-iteration phase spans.
+    ///
+    /// The engine reads this **once** per solve call, before the first
+    /// iteration; returning `false` (the default) reduces every instrumented
+    /// site to a single predictable branch with no clock read.  The answer
+    /// must therefore be constant for the lifetime of one solve call.
+    fn observes_phases(&self) -> bool {
+        false
+    }
+
+    /// One phase span: the engine spent `elapsed_nanos` monotonic nanoseconds
+    /// in `phase`.  Only fired when [`observes_phases`](Self::observes_phases)
+    /// returned `true` at the start of the solve call.  Like every hook this
+    /// is passive and synchronous — implementations must stay cheap and
+    /// alloc-free (the flight recorder funnels these into atomics).
+    fn on_phase(&mut self, phase: SearchPhase, elapsed_nanos: u64) {
+        let _ = (phase, elapsed_nanos);
+    }
 }
 
 /// The no-op observer: every hook compiles away.
@@ -104,11 +184,25 @@ mod tests {
         let mut obs = NoObserver;
         obs.on_restart(3);
         obs.on_improvement(10, 42);
+        assert!(!obs.observes_phases());
+        obs.on_phase(SearchPhase::CandidateScan, 100);
 
         struct Empty;
         impl SearchObserver for Empty {}
         let mut empty = Empty;
         empty.on_restart(0);
         empty.on_improvement(0, 0);
+        assert!(!empty.observes_phases());
+        empty.on_phase(SearchPhase::Projection, 0);
+    }
+
+    #[test]
+    fn phase_index_and_name_are_stable() {
+        for (i, phase) in SearchPhase::ALL.into_iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+        assert_eq!(SearchPhase::CandidateScan.name(), "candidate-scan");
+        assert_eq!(SearchPhase::SwapExecution.name(), "swap-execution");
+        assert_eq!(SearchPhase::Projection.name(), "projection");
     }
 }

@@ -1,0 +1,51 @@
+//! Seeded violations for the telemetry half of `no-alloc-hot-path`: the
+//! `EventSink` entry point `record` and the `observe_*` hooks run on the
+//! engine hot path, so sink impls must stay alloc-free.  The fixture test
+//! pins the rule name and line of every finding.
+
+struct LeakySink {
+    seen: Vec<String>,
+}
+
+impl EventSink for LeakySink {
+    fn record(&self, event: &WalkEvent) {
+        let copied = event.labels.to_vec(); // line 12: .to_vec()
+        let tag = String::from("event"); // line 13: String::from()
+        let _ = (copied, tag);
+    }
+
+    fn observe_phase(&self, walk_id: usize, _phase: SearchPhase, _elapsed_nanos: u64) {
+        let boxed = Box::new(walk_id); // line 18: Box::new()
+        let gathered: Vec<usize> = (0..*boxed).collect(); // line 19: .collect()
+        let _ = gathered;
+    }
+}
+
+impl LeakySink {
+    // A non-`observe_`-prefixed helper is not guarded (`observer` does not
+    // match the `observe_*` hook shape).
+    fn observer(&self) -> Vec<String> {
+        self.seen.clone()
+    }
+
+    // `record_summary` is not the sink entry point `record`.
+    fn record_summary(&self) -> Vec<String> {
+        self.seen.to_vec()
+    }
+}
+
+// The documented escape still works for recording methods.
+impl EventSink for ExcusedSink {
+    fn record(&self, event: &WalkEvent) {
+        // lint: allow(no-alloc-hot-path) — fixture: cold diagnostic sink by design
+        let copied = event.labels.to_vec();
+        let _ = copied;
+    }
+}
+
+// Trait-declaration defaults are documented fallbacks, not violations.
+trait EventSink {
+    fn record(&self, event: &WalkEvent) {
+        let _ = event.labels.to_vec();
+    }
+}

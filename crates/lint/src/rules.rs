@@ -39,6 +39,16 @@ pub const HOT_PATH_FNS: [&str; 4] = [
     "project_errors_full",
 ];
 
+/// Whether `no-alloc-hot-path` guards a method of this name.  Besides the
+/// engine probes in [`HOT_PATH_FNS`], the telemetry recording surface is
+/// covered: the `EventSink` entry point `record` and every `observe_*` hook
+/// (e.g. `observe_phase`) run on the engine hot path, so sinks must stay
+/// alloc-free too — the flight recorder's bounded-buffer contract.
+#[must_use]
+pub fn is_hot_path_fn(name: &str) -> bool {
+    HOT_PATH_FNS.contains(&name) || name == "record" || name.starts_with("observe_")
+}
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -137,7 +147,7 @@ fn check_no_alloc_hot_path(
         // Only impl-block bodies: the `trait Evaluator` declaration documents
         // its allocate-and-recompute defaults on purpose, and free functions
         // are not engine hot paths.
-        if !f.in_impl || !HOT_PATH_FNS.contains(&f.name.as_str()) {
+        if !f.in_impl || !is_hot_path_fn(&f.name) {
             continue;
         }
         let body = &scanned.tokens[f.body.clone()];

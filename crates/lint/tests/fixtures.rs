@@ -49,6 +49,24 @@ fn no_alloc_hot_path_fires_on_every_banned_shape() {
 }
 
 #[test]
+fn no_alloc_hot_path_guards_recording_methods() {
+    let findings = lint_fixture("obs_recording.rs");
+    // One finding per seeded allocation inside `record` / `observe_phase`,
+    // nothing from the near-miss helpers (`observer`, `record_summary`),
+    // the escaped impl or the trait default.
+    assert_eq!(
+        rule_lines(&findings, rules::NO_ALLOC_HOT_PATH),
+        vec![12, 13, 18, 19],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 4, "findings: {findings:#?}");
+    assert!(rules::is_hot_path_fn("record"));
+    assert!(rules::is_hot_path_fn("observe_phase"));
+    assert!(!rules::is_hot_path_fn("observer"));
+    assert!(!rules::is_hot_path_fn("record_summary"));
+}
+
+#[test]
 fn no_alloc_hot_path_escapes_and_trait_defaults_are_clean() {
     let findings = lint_fixture("no_alloc_hot_path.rs");
     // The `Allowed` impl (escaped) and the trait default body contribute

@@ -1,0 +1,459 @@
+//! Chrome `trace_event` export: turn a [`TraceRecording`] into a JSON
+//! document loadable by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! The mapping uses the trace-event format's object form
+//! (`{"traceEvents": [...]}`) with one *process* per recording and one
+//! *thread track per walk* (`tid` = walk id):
+//!
+//! | recording item              | trace event                                  |
+//! |-----------------------------|----------------------------------------------|
+//! | process / walk identity     | `ph:"M"` metadata (`process_name`, `thread_name`) |
+//! | walk lifetime               | `ph:"X"` complete slice named `walk`          |
+//! | sampled phase span          | `ph:"X"` complete slice named after the phase |
+//! | restart marker              | `ph:"i"` thread-scoped instant                |
+//! | cost trajectory point       | `ph:"C"` counter event (`cost[walk N]`)       |
+//!
+//! Timestamps (`ts`) and durations (`dur`) are microseconds with fractional
+//! nanosecond precision, as the format requires.  The emitter writes JSON by
+//! hand (the vendored serde shim has no general value tree on the serialize
+//! side); [`validate_chrome_trace`] parses the document back through the
+//! shim's JSON parser and checks the structural invariants the viewers rely
+//! on, which is what the CI `obs` job runs against recorded benchmarks.
+
+use serde::__private::{DeError, Value};
+use serde::Deserialize;
+
+use crate::trace::{TraceEventKind, TraceRecording};
+
+/// Microseconds-with-fraction rendering of a nanosecond timestamp (the
+/// trace-event format wants `ts`/`dur` in µs; three decimals keep full
+/// nanosecond precision without floating-point drift).
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// Minimal JSON string escaping for the label strings we emit.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `recording` as Chrome `trace_event` JSON (object form).
+///
+/// Every walk gets a named thread track; sampled phase spans appear as
+/// complete slices on their walk's track, restarts as instants, and the
+/// cost trajectory as per-walk counter series.
+#[must_use]
+pub fn chrome_trace_json(recording: &TraceRecording) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let process = format!(
+        "cbls {} ({}, seed {})",
+        recording.meta.benchmark, recording.meta.backend, recording.meta.master_seed
+    );
+    events.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{{"name":"{}"}}}}"#,
+        escape(&process)
+    ));
+    for walk in &recording.summary.per_walk {
+        let label = if walk.label.is_empty() {
+            format!("walk {} (seed {})", walk.walk_id, walk.seed)
+        } else {
+            format!(
+                "walk {} [{}] (seed {})",
+                walk.walk_id, walk.label, walk.seed
+            )
+        };
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"{}"}}}}"#,
+            walk.walk_id,
+            escape(&label)
+        ));
+    }
+
+    // Walk lifetimes as one top-level slice per track.
+    for walk in 0..recording.meta.walks {
+        let started = recording
+            .lifecycle
+            .iter()
+            .find(|e| e.walk_id == walk && matches!(e.kind, TraceEventKind::Started { .. }));
+        let finished = recording
+            .lifecycle
+            .iter()
+            .find(|e| e.walk_id == walk && matches!(e.kind, TraceEventKind::Finished { .. }));
+        if let (Some(s), Some(f)) = (started, finished) {
+            let solved = matches!(f.kind, TraceEventKind::Finished { solved: true, .. });
+            events.push(format!(
+                r#"{{"name":"walk","cat":"lifecycle","ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"args":{{"solved":{}}}}}"#,
+                walk,
+                micros(s.t_nanos),
+                micros(f.t_nanos.saturating_sub(s.t_nanos)),
+                solved
+            ));
+        }
+    }
+
+    for event in &recording.samples {
+        match event.kind {
+            TraceEventKind::PhaseSpan { phase, dur_nanos } => {
+                events.push(format!(
+                    r#"{{"name":"{}","cat":"phase","ph":"X","pid":0,"tid":{},"ts":{},"dur":{}}}"#,
+                    phase.name(),
+                    event.walk_id,
+                    micros(event.t_nanos),
+                    micros(dur_nanos)
+                ));
+            }
+            TraceEventKind::Restarted { restart } => {
+                events.push(format!(
+                    r#"{{"name":"restart {}","cat":"restart","ph":"i","s":"t","pid":0,"tid":{},"ts":{}}}"#,
+                    restart,
+                    event.walk_id,
+                    micros(event.t_nanos)
+                ));
+            }
+            TraceEventKind::Cost { cost, .. } => {
+                events.push(format!(
+                    r#"{{"name":"cost[walk {}]","cat":"cost","ph":"C","pid":0,"tid":{},"ts":{},"args":{{"cost":{}}}}}"#,
+                    event.walk_id,
+                    event.walk_id,
+                    micros(event.t_nanos),
+                    cost
+                ));
+            }
+            // Lifecycle kinds never appear in the sampled stream.
+            TraceEventKind::Started { .. } | TraceEventKind::Finished { .. } => {}
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// One parsed trace event, as far as validation cares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Phase letter (`M`, `X`, `i`, `C`, ...).
+    pub ph: String,
+    /// Process id.
+    pub pid: i64,
+    /// Thread id (walk id in this exporter's mapping).
+    pub tid: i64,
+    /// Timestamp in microseconds (absent on metadata events).
+    pub ts: Option<f64>,
+    /// Duration in microseconds (complete events only).
+    pub dur: Option<f64>,
+    /// Category (absent on metadata events).
+    pub cat: Option<String>,
+    /// The `args.name` payload of metadata events.
+    pub meta_name: Option<String>,
+}
+
+impl Deserialize for ChromeEvent {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let field = |key: &str| -> Result<&Value, DeError> {
+            v.get(key)
+                .ok_or_else(|| DeError::new(format!("missing field `{key}`")))
+        };
+        let opt_f64 = |key: &str| -> Result<Option<f64>, DeError> {
+            v.get(key).map(f64::from_json_value).transpose()
+        };
+        Ok(Self {
+            name: String::from_json_value(field("name")?)?,
+            ph: String::from_json_value(field("ph")?)?,
+            pid: i64::from_json_value(field("pid")?)?,
+            tid: i64::from_json_value(field("tid")?)?,
+            ts: opt_f64("ts")?,
+            dur: opt_f64("dur")?,
+            cat: v.get("cat").map(String::from_json_value).transpose()?,
+            meta_name: v
+                .get("args")
+                .and_then(|args| args.get("name"))
+                .map(String::from_json_value)
+                .transpose()?,
+        })
+    }
+}
+
+/// A parsed `{"traceEvents": [...]}` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTrace {
+    /// The events, in document order.
+    pub events: Vec<ChromeEvent>,
+}
+
+impl Deserialize for ChromeTrace {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let events = v
+            .get("traceEvents")
+            .ok_or_else(|| DeError::new("missing field `traceEvents`"))?;
+        Ok(Self {
+            events: Vec::<ChromeEvent>::from_json_value(events)?,
+        })
+    }
+}
+
+/// Structural statistics of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Total events in the document.
+    pub events: usize,
+    /// Distinct walk tracks (named threads).
+    pub walk_tracks: usize,
+    /// `ph:"X"` slices in the `phase` category.
+    pub phase_slices: usize,
+    /// `ph:"X"` walk-lifetime slices.
+    pub lifetime_slices: usize,
+    /// `ph:"C"` cost counter samples.
+    pub cost_samples: usize,
+    /// `ph:"i"` restart instants.
+    pub restart_instants: usize,
+}
+
+/// Parse and validate a Chrome trace document produced by
+/// [`chrome_trace_json`]: well-formed JSON, a process name, one named track
+/// per walk, non-negative timestamps/durations, and every slice on a named
+/// track.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let trace: ChromeTrace =
+        serde_json::from_str(json).map_err(|e| format!("unparsable trace JSON: {e}"))?;
+    if trace.events.is_empty() {
+        return Err("trace has no events".to_string());
+    }
+    let mut stats = ChromeTraceStats {
+        events: trace.events.len(),
+        walk_tracks: 0,
+        phase_slices: 0,
+        lifetime_slices: 0,
+        cost_samples: 0,
+        restart_instants: 0,
+    };
+    let mut has_process_name = false;
+    let mut named_tracks: Vec<i64> = Vec::new();
+    for event in &trace.events {
+        match event.ph.as_str() {
+            "M" => match event.name.as_str() {
+                "process_name" => has_process_name = true,
+                "thread_name" => {
+                    if event.meta_name.as_deref().unwrap_or("").is_empty() {
+                        return Err(format!("thread_name for tid {} is empty", event.tid));
+                    }
+                    if !named_tracks.contains(&event.tid) {
+                        named_tracks.push(event.tid);
+                    }
+                }
+                other => return Err(format!("unknown metadata event {other:?}")),
+            },
+            "X" => {
+                let ts = event
+                    .ts
+                    .ok_or_else(|| format!("slice {:?} has no ts", event.name))?;
+                let dur = event
+                    .dur
+                    .ok_or_else(|| format!("slice {:?} has no dur", event.name))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("slice {:?} has negative ts/dur", event.name));
+                }
+                if !named_tracks.contains(&event.tid) {
+                    return Err(format!(
+                        "slice {:?} sits on unnamed track tid {}",
+                        event.name, event.tid
+                    ));
+                }
+                if event.cat.as_deref() == Some("phase") {
+                    stats.phase_slices += 1;
+                } else {
+                    stats.lifetime_slices += 1;
+                }
+            }
+            "i" => {
+                if event.ts.is_none() {
+                    return Err(format!("instant {:?} has no ts", event.name));
+                }
+                stats.restart_instants += 1;
+            }
+            "C" => {
+                if event.ts.is_none() {
+                    return Err(format!("counter {:?} has no ts", event.name));
+                }
+                stats.cost_samples += 1;
+            }
+            other => return Err(format!("unexpected phase letter {other:?}")),
+        }
+    }
+    if !has_process_name {
+        return Err("no process_name metadata event".to_string());
+    }
+    stats.walk_tracks = named_tracks.len();
+    if stats.walk_tracks == 0 {
+        return Err("no walk tracks (thread_name metadata) found".to_string());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsSnapshot;
+    use crate::trace::{TraceEvent, TraceMeta, TraceSummary, WalkSummary, TRACE_SCHEMA};
+    use cbls_core::SearchPhase;
+
+    fn recording_with_samples() -> TraceRecording {
+        TraceRecording {
+            schema: TRACE_SCHEMA.to_string(),
+            meta: TraceMeta {
+                benchmark: "queens-8".to_string(),
+                backend: "sequential".to_string(),
+                master_seed: 42,
+                walks: 2,
+            },
+            wall_nanos: 10_000,
+            lifecycle: vec![
+                TraceEvent {
+                    t_nanos: 100,
+                    walk_id: 0,
+                    kind: TraceEventKind::Started { seed: 1 },
+                },
+                TraceEvent {
+                    t_nanos: 150,
+                    walk_id: 1,
+                    kind: TraceEventKind::Started { seed: 2 },
+                },
+                TraceEvent {
+                    t_nanos: 9_000,
+                    walk_id: 0,
+                    kind: TraceEventKind::Finished {
+                        solved: true,
+                        iterations: 40,
+                        cost: 0,
+                    },
+                },
+                TraceEvent {
+                    t_nanos: 9_500,
+                    walk_id: 1,
+                    kind: TraceEventKind::Finished {
+                        solved: false,
+                        iterations: 44,
+                        cost: 2,
+                    },
+                },
+            ],
+            samples: vec![
+                TraceEvent {
+                    t_nanos: 500,
+                    walk_id: 0,
+                    kind: TraceEventKind::PhaseSpan {
+                        phase: SearchPhase::CandidateScan,
+                        dur_nanos: 300,
+                    },
+                },
+                TraceEvent {
+                    t_nanos: 900,
+                    walk_id: 1,
+                    kind: TraceEventKind::Restarted { restart: 1 },
+                },
+                TraceEvent {
+                    t_nanos: 1_200,
+                    walk_id: 0,
+                    kind: TraceEventKind::Cost {
+                        iteration: 10,
+                        cost: 3,
+                    },
+                },
+            ],
+            dropped_samples: 0,
+            sample_stride: 1,
+            phase_profiles: vec![],
+            metrics: MetricsSnapshot {
+                counters: vec![],
+                gauges: vec![],
+                histograms: vec![],
+            },
+            summary: TraceSummary {
+                walks: 2,
+                solved_walks: 1,
+                winner: Some(0),
+                total_iterations: 84,
+                total_restarts: 1,
+                total_improvements: 1,
+                per_walk: vec![
+                    WalkSummary {
+                        walk_id: 0,
+                        label: String::new(),
+                        seed: 1,
+                        solved: true,
+                        iterations: 40,
+                        restarts: 0,
+                        improvements: 1,
+                        best_cost: 0,
+                    },
+                    WalkSummary {
+                        walk_id: 1,
+                        label: "luby".to_string(),
+                        seed: 2,
+                        solved: false,
+                        iterations: 44,
+                        restarts: 1,
+                        improvements: 0,
+                        best_cost: 2,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn export_validates_and_counts_structures() {
+        let rec = recording_with_samples();
+        let json = chrome_trace_json(&rec);
+        let stats = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(stats.walk_tracks, 2);
+        assert_eq!(stats.phase_slices, 1);
+        assert_eq!(stats.lifetime_slices, 2);
+        assert_eq!(stats.cost_samples, 1);
+        assert_eq!(stats.restart_instants, 1);
+    }
+
+    #[test]
+    fn micros_preserves_nanosecond_precision() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[]}"#).is_err());
+        // A slice on an unnamed track is rejected.
+        let bad = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"p"}},
+            {"name":"walk","ph":"X","pid":0,"tid":7,"ts":1.0,"dur":2.0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("unnamed"));
+    }
+}

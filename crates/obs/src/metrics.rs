@@ -1,0 +1,422 @@
+//! The metrics registry: named counters, gauges and fixed-bucket histograms
+//! that are **alloc-free after registration**.
+//!
+//! Registration (naming a metric, sizing histogram buckets) allocates; every
+//! update afterwards is a handful of atomic operations, so metric handles are
+//! safe to drive from the engine's recording paths — the same contract
+//! `cbls-lint`'s `no-alloc-hot-path` rule enforces on the flight recorder.
+//! Handles are cheap `Arc` clones: the registry keeps one end for
+//! [`MetricsRegistry::snapshot`], the instrumented code keeps the other.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter detached from any registry (useful in tests).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        // Relaxed: independent monotonic accumulator; readers snapshot after
+        // the batch joins, which is the synchronization point.
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        // Relaxed: monotonic counter read; no other memory is published
+        // through this load.
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins `i64` metric with an atomic running-minimum helper.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            value: Arc::new(AtomicI64::new(i64::MAX)),
+        }
+    }
+}
+
+impl Gauge {
+    /// A gauge detached from any registry, initialised to `i64::MAX` (so the
+    /// first [`record_min`](Self::record_min) always wins).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        // Relaxed: last-writer-wins level; read only after the batch joins.
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Lower the gauge to `v` if `v` is smaller than the current value (used
+    /// for "best cost seen so far" across concurrently improving walks).
+    pub fn record_min(&self, v: i64) {
+        // Relaxed: the running minimum is order-independent and read only
+        // after the batch joins.
+        self.value.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        // Relaxed: plain level read; no other memory rides on it.
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket cumulative-style histogram over `u64` observations.
+///
+/// `bounds` are inclusive upper bounds of the first `bounds.len()` buckets;
+/// one implicit overflow bucket catches everything larger.  Bounds are fixed
+/// at registration, so recording is a bounded scan plus two atomic adds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Arc<[u64]>,
+    buckets: Arc<[AtomicU64]>,
+    count: Arc<AtomicU64>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    /// A histogram detached from any registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets: Vec<AtomicU64> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: bounds.to_vec().into(),
+            buckets: buckets.into(),
+            count: Arc::new(AtomicU64::new(0)),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let mut slot = self.bounds.len();
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            if value <= bound {
+                slot = i;
+                break;
+            }
+        }
+        // Relaxed: independent per-bucket accumulators; the snapshot after
+        // the batch joins is the only reader and needs no ordering here.
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        // Relaxed: same accumulator contract as the buckets above.
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Relaxed: same accumulator contract as the buckets above.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        // Relaxed: monotonic counter read after the writers are done.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        // Relaxed: monotonic accumulator read after the writers are done.
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of one counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// A point-in-time copy of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Inclusive upper bounds of the leading buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; one longer than `bounds` (the last
+    /// entry is the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+}
+
+/// A point-in-time copy of a whole registry, ordered by metric name within
+/// each kind.  Serializes to JSON via the workspace serde shim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// A histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Registration hands out live handles and keeps a mirror for snapshotting.
+/// Names must be unique per kind; re-registering a name panics (metrics are
+/// wired once at construction time, a duplicate is a programming error).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter and return its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a counter named `name` already exists.
+    pub fn counter(&mut self, name: &str) -> Counter {
+        assert!(
+            !self.counters.iter().any(|(n, _)| n == name),
+            "duplicate counter {name:?}"
+        );
+        let handle = Counter::new();
+        self.counters.push((name.to_string(), handle.clone()));
+        handle
+    }
+
+    /// Register a gauge and return its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gauge named `name` already exists.
+    pub fn gauge(&mut self, name: &str) -> Gauge {
+        assert!(
+            !self.gauges.iter().any(|(n, _)| n == name),
+            "duplicate gauge {name:?}"
+        );
+        let handle = Gauge::new();
+        self.gauges.push((name.to_string(), handle.clone()));
+        handle
+    }
+
+    /// Register a histogram with the given bucket bounds and return its
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram named `name` already exists, or if `bounds` is
+    /// empty or not strictly increasing.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(
+            !self.histograms.iter().any(|(n, _)| n == name),
+            "duplicate histogram {name:?}"
+        );
+        let handle = Histogram::with_bounds(bounds);
+        self.histograms.push((name.to_string(), handle.clone()));
+        handle
+    }
+
+    /// Copy every metric's current value, sorted by name within each kind.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSnapshot> = self
+            .counters
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.value(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSnapshot> = self
+            .gauges
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.value(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    // Relaxed: bucket reads after the writers are done
+                    // (snapshot happens after the batch joins).
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
+                HistogramSnapshot {
+                    name: name.clone(),
+                    bounds: h.bounds.to_vec(),
+                    buckets,
+                    count: h.count(),
+                    sum: h.sum(),
+                }
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("engine.iterations");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        assert_eq!(reg.snapshot().counter("engine.iterations"), Some(42));
+        assert_eq!(reg.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_set_and_take_minima() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("cost.best");
+        assert_eq!(g.value(), i64::MAX);
+        g.record_min(100);
+        g.record_min(250);
+        assert_eq!(g.value(), 100);
+        g.set(-5);
+        g.record_min(3);
+        assert_eq!(reg.snapshot().gauge("cost.best"), Some(-5));
+    }
+
+    #[test]
+    fn histograms_bucket_inclusively_with_overflow() {
+        let h = Histogram::with_bounds(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 999, 5000] {
+            h.record(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        let reg_h = reg.histogram("walk.iterations", &[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 999, 5000] {
+            reg_h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("walk.iterations").unwrap();
+        assert_eq!(hs.buckets, vec![2, 2, 1, 1]);
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, 1 + 10 + 11 + 100 + 999 + 5000);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializes() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b");
+        reg.counter("a");
+        reg.gauge("z");
+        reg.histogram("h", &[1]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a");
+        assert_eq!(snap.counters[1].name, "b");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counter")]
+    fn duplicate_names_panic() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_histogram_bounds_panic() {
+        let _ = Histogram::with_bounds(&[10, 10]);
+    }
+}

@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use cbls_core::SearchPhase;
 use cbls_perfmodel::DistributionAccumulator;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +96,24 @@ impl WalkEvent {
 pub trait EventSink: Sync {
     /// Consume one event.
     fn record(&self, event: &WalkEvent);
+
+    /// Whether this sink wants per-iteration phase spans from the engines it
+    /// observes.  Read once per walk before its first iteration (forwarded
+    /// to [`SearchObserver::observes_phases`](cbls_core::SearchObserver::observes_phases)),
+    /// so the answer must be constant for the lifetime of a batch; the
+    /// default declines and keeps the engine hot loop span-free.
+    fn observes_phases(&self) -> bool {
+        false
+    }
+
+    /// Consume one phase span of walk `walk_id`: `elapsed_nanos` monotonic
+    /// nanoseconds spent in `phase`.  Only called when
+    /// [`observes_phases`](Self::observes_phases) returned `true`; unlike the
+    /// cold-edge [`record`](Self::record) this fires on the hot path, so
+    /// implementations must stay cheap and alloc-free.
+    fn observe_phase(&self, walk_id: usize, phase: SearchPhase, elapsed_nanos: u64) {
+        let _ = (walk_id, phase, elapsed_nanos);
+    }
 }
 
 /// A sink that remembers every event it sees.
@@ -289,6 +308,16 @@ impl cbls_core::SearchObserver for WalkObserver<'_> {
             });
         }
     }
+
+    fn observes_phases(&self) -> bool {
+        self.sink.is_some_and(|sink| sink.observes_phases())
+    }
+
+    fn on_phase(&mut self, phase: SearchPhase, elapsed_nanos: u64) {
+        if let Some(sink) = self.sink {
+            sink.observe_phase(self.walk_id, phase, elapsed_nanos);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +453,51 @@ mod tests {
         };
         silent.on_restart(1);
         silent.on_improvement(0, 0);
+        assert!(!silent.observes_phases());
+        silent.on_phase(SearchPhase::CandidateScan, 1);
+    }
+
+    #[test]
+    fn walk_observer_forwards_phase_spans_when_the_sink_opts_in() {
+        use cbls_core::SearchObserver;
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct PhaseLog {
+            spans: Mutex<Vec<(usize, SearchPhase, u64)>>,
+        }
+        impl EventSink for PhaseLog {
+            fn record(&self, _event: &WalkEvent) {}
+            fn observes_phases(&self) -> bool {
+                true
+            }
+            fn observe_phase(&self, walk_id: usize, phase: SearchPhase, elapsed_nanos: u64) {
+                self.spans
+                    .lock()
+                    .unwrap()
+                    .push((walk_id, phase, elapsed_nanos));
+            }
+        }
+
+        let log = PhaseLog::default();
+        let mut obs = WalkObserver {
+            walk_id: 5,
+            sink: Some(&log),
+        };
+        assert!(obs.observes_phases());
+        obs.on_phase(SearchPhase::SwapExecution, 250);
+        assert_eq!(
+            *log.spans.lock().unwrap(),
+            vec![(5, SearchPhase::SwapExecution, 250)]
+        );
+
+        // a sink using the default opt-out keeps the engine span-free
+        let plain = EventLog::new();
+        let obs = WalkObserver {
+            walk_id: 0,
+            sink: Some(&plain),
+        };
+        assert!(!obs.observes_phases());
     }
 
     #[test]

@@ -73,7 +73,8 @@ mod simulate;
 pub use adaptive::{AdaptiveScheduler, StrategyStats};
 pub use portfolio::{Portfolio, PortfolioMember};
 pub use runner::{
-    run_portfolio, run_portfolio_rayon, run_portfolio_threads, PortfolioResult, PortfolioWalkReport,
+    run_portfolio, run_portfolio_rayon, run_portfolio_threads, MemberStats, PortfolioResult,
+    PortfolioWalkReport,
 };
 pub use schedule::{luby, RestartSchedule, Schedule};
 pub use simulate::{SimulatedPortfolio, SpeedupComparison};

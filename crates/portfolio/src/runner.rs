@@ -99,6 +99,59 @@ impl PortfolioResult {
             acc.record_count(report.outcome.stats.restarts);
         }
     }
+
+    /// Aggregate per-member statistics (walks sharing a label), ordered by
+    /// first appearance in the report list.  This is the grouping the
+    /// observability layer's portfolio metrics and the `cbls-trace` summary
+    /// render: it answers "which restart strategy did the work / won?".
+    #[must_use]
+    pub fn member_stats(&self) -> Vec<MemberStats> {
+        let mut stats: Vec<MemberStats> = Vec::new();
+        for report in &self.reports {
+            let entry = match stats.iter_mut().find(|s| s.label == report.member_label) {
+                Some(entry) => entry,
+                None => {
+                    stats.push(MemberStats {
+                        label: report.member_label.clone(),
+                        walks: 0,
+                        solved: 0,
+                        won: false,
+                        iterations: 0,
+                        restarts: 0,
+                        best_cost: i64::MAX,
+                    });
+                    stats.last_mut().expect("just pushed")
+                }
+            };
+            entry.walks += 1;
+            entry.solved += usize::from(report.outcome.solved());
+            entry.won |= self.winner == Some(report.walk_id);
+            entry.iterations += report.outcome.stats.iterations;
+            entry.restarts += report.outcome.stats.restarts;
+            entry.best_cost = entry.best_cost.min(report.outcome.best_cost);
+        }
+        stats
+    }
+}
+
+/// Aggregate statistics for all walks of one portfolio member (one label),
+/// as computed by [`PortfolioResult::member_stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberStats {
+    /// The member's label.
+    pub label: String,
+    /// Walks that ran this member.
+    pub walks: usize,
+    /// How many of them solved the problem.
+    pub solved: usize,
+    /// Whether the run's winning walk belonged to this member.
+    pub won: bool,
+    /// Total iterations across the member's walks.
+    pub iterations: u64,
+    /// Total restarts across the member's walks.
+    pub restarts: u64,
+    /// Best cost any of the member's walks reached.
+    pub best_cost: i64,
 }
 
 impl WalkOutcome for PortfolioWalkReport {

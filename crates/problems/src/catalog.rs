@@ -105,6 +105,52 @@ impl Benchmark {
         }
     }
 
+    /// Parse a [`Benchmark::id`] string back into a benchmark — the inverse
+    /// of `id()` for every representable variant, used by the CLI tools to
+    /// accept `--bench costas-14`-style selectors.
+    ///
+    /// Returns `None` for unknown families or malformed size suffixes; the
+    /// parser performs no validation beyond the id shape, so a size the
+    /// builder rejects still panics in [`build`](Self::build), exactly as if
+    /// the variant had been constructed directly.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Self> {
+        let fixed = match id {
+            "perfect-square-csplib21" => Some(Benchmark::PerfectSquareCsplib),
+            "perfect-square-order9" => Some(Benchmark::PerfectSquareOrder9),
+            "alpha" => Some(Benchmark::Alpha),
+            _ => None,
+        };
+        if fixed.is_some() {
+            return fixed;
+        }
+        if let Some(size) = id.strip_prefix("coloring-") {
+            let (nodes, colors) = size.split_once('x')?;
+            return Some(Benchmark::GraphColoring {
+                nodes: nodes.parse().ok()?,
+                colors: colors.parse().ok()?,
+            });
+        }
+        type SizedCtor = fn(usize) -> Benchmark;
+        let sized: &[(&str, SizedCtor)] = &[
+            ("magic-square-", Benchmark::MagicSquare),
+            ("all-interval-", Benchmark::AllInterval),
+            ("costas-", Benchmark::CostasArray),
+            ("queens-", Benchmark::NQueens),
+            ("langford-", Benchmark::Langford),
+            ("partition-", Benchmark::NumberPartitioning),
+            ("magic-sequence-", Benchmark::MagicSequence),
+            ("golomb-", Benchmark::GolombRuler),
+            ("qcp-", Benchmark::QuasigroupCompletion),
+        ];
+        for (prefix, make) in sized {
+            if let Some(rest) = id.strip_prefix(prefix) {
+                return Some(make(rest.parse().ok()?));
+            }
+        }
+        None
+    }
+
     /// Human-readable label matching the names used in the paper's figures.
     #[must_use]
     pub fn label(&self) -> String {
@@ -191,6 +237,54 @@ impl Benchmark {
 mod tests {
     use super::*;
     use as_rng::default_rng;
+
+    #[test]
+    fn from_id_round_trips_every_variant() {
+        let all = [
+            Benchmark::MagicSquare(10),
+            Benchmark::AllInterval(50),
+            Benchmark::PerfectSquareCsplib,
+            Benchmark::PerfectSquareOrder9,
+            Benchmark::CostasArray(14),
+            Benchmark::NQueens(64),
+            Benchmark::Langford(12),
+            Benchmark::NumberPartitioning(30),
+            Benchmark::Alpha,
+            Benchmark::MagicSequence(30),
+            Benchmark::GolombRuler(8),
+            Benchmark::GraphColoring {
+                nodes: 60,
+                colors: 3,
+            },
+            Benchmark::QuasigroupCompletion(10),
+        ];
+        for bench in all {
+            let id = bench.id();
+            assert_eq!(
+                Benchmark::from_id(&id),
+                Some(bench),
+                "id {id} does not round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn from_id_rejects_malformed_selectors() {
+        for bad in [
+            "",
+            "costas",
+            "costas-",
+            "costas-x",
+            "costas-14-2",
+            "unknown-9",
+            "coloring-60",
+            "coloring-x3",
+            "coloring-60x",
+            "perfect-square-order10",
+        ] {
+            assert_eq!(Benchmark::from_id(bad), None, "{bad:?} must not parse");
+        }
+    }
 
     fn all_small_benchmarks() -> Vec<Benchmark> {
         vec![

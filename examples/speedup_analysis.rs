@@ -3,6 +3,14 @@
 //! models of the HA8000 and Grid'5000 machines, and print the predicted
 //! 16..256-core speedup curves next to the ideal line.
 //!
+//! The measurement runs through the executor layer with a
+//! [`DistributionSink`] attached: solved walks stream their
+//! iterations-to-solution into the accumulator online, as they finish —
+//! the same telemetry path `run_portfolio` uses — instead of a hand-rolled
+//! solve loop with post-hoc collection.  Walk `i` of the batch draws the
+//! stream `WalkSeeds::new(42).rng_of(i)`, so the measured distribution is
+//! identical to what the loop form would record.
+//!
 //! ```text
 //! cargo run --release --example speedup_analysis
 //! ```
@@ -19,18 +27,28 @@ fn main() {
         benchmark.label()
     );
 
-    let search = benchmark.tuned_config();
-    let engine = AdaptiveSearch::new(search);
-    let seeds = WalkSeeds::new(42);
-    let mut iterations = Vec::new();
-    for run in 0..samples {
-        let mut problem = benchmark.build();
-        let outcome = engine.solve(&mut problem, &mut seeds.rng_of(run));
-        if outcome.solved() {
-            iterations.push(outcome.stats.iterations);
-        }
-    }
-    let distribution = EmpiricalDistribution::from_counts(&iterations);
+    // One batch of independent walks, run to completion (every walk is a
+    // sample — no first-finisher cutoff), with the distribution sink
+    // consuming Finished events as telemetry.
+    let factory = || benchmark.build();
+    let batch = WalkBatch::uniform(42, &benchmark.tuned_config(), samples).run_to_completion();
+    let sink = DistributionSink::new();
+    let execution = SequentialExecutor.execute_with_telemetry(&factory, &batch, &sink);
+    let solved = execution
+        .records
+        .iter()
+        .filter(|r| r.outcome.solved())
+        .count();
+
+    let accumulator = sink.into_accumulator();
+    assert_eq!(
+        accumulator.len(),
+        solved,
+        "the online stream records exactly the solved walks"
+    );
+    let distribution = accumulator
+        .distribution()
+        .expect("at least one walk must solve the instance");
     println!(
         "mean {:.0} iterations, CoV {:.2} (≈1 ⇒ exponential ⇒ linear speedup expected)\n",
         distribution.mean(),

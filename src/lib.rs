@@ -29,6 +29,8 @@
 //! * [`model`] (`cbls-model`) — the declarative modeling layer (violation
 //!   terms, the model builder and the generic incremental evaluator);
 //! * [`problems`] (`cbls-problems`) — benchmark models and the registry;
+//! * [`obs`] (`cbls-obs`) — metrics, flight-recorder tracing and phase
+//!   profiling, with Chrome-trace export and the `cbls-trace` CLI;
 //! * [`parallel`] (`cbls-parallel`) — multi-walk runners and speedup helpers;
 //! * [`portfolio`] (`cbls-portfolio`) — restart schedules, heterogeneous
 //!   strategy portfolios and the adaptive walk scheduler;
@@ -43,6 +45,7 @@
 pub use as_rng as rng;
 pub use cbls_core as core;
 pub use cbls_model as model;
+pub use cbls_obs as obs;
 pub use cbls_parallel as parallel;
 pub use cbls_perfmodel as perfmodel;
 pub use cbls_portfolio as portfolio;
@@ -57,6 +60,9 @@ pub mod prelude {
         SearchOutcome, SearchStats, StopControl, Summary, TerminationReason,
     };
     pub use cbls_model::{Model, ModelEvaluator, Term};
+    pub use cbls_obs::{
+        render_summary, FlightRecorder, MetricsRegistry, RecorderConfig, TraceMeta, TraceRecording,
+    };
     pub use cbls_parallel::{
         dependent::{run_dependent, run_dependent_on, DependentWalkConfig},
         run_multiwalk, run_rayon, run_threads, select_winner, DistributionSink, EventLog,
