@@ -8,7 +8,9 @@
 //! cargo run --release -p cbls-bench --bin throughput -- --out path.json
 //! ```
 
-use cbls_bench::throughput::{run_report, ThroughputConfig, RECORDER_OVERHEAD_BUDGET};
+use cbls_bench::throughput::{
+    run_report, ThroughputConfig, RECORDER_OVERHEAD_BUDGET, SUPERVISION_OVERHEAD_BUDGET,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +63,16 @@ fn main() {
             overhead.events,
         );
     }
+    for overhead in &report.supervision_overhead {
+        println!(
+            "{:<24} {:>12.0} iters/sec supervised,    {:>12.0} without  ({:+.2}% overhead, {} heartbeats)",
+            format!("supervised:{}", overhead.id),
+            overhead.iters_per_sec_events_on,
+            overhead.iters_per_sec_events_off,
+            100.0 * overhead.overhead_fraction,
+            overhead.events,
+        );
+    }
     if !quick {
         // The observability acceptance bar: attaching the flight recorder may
         // cost at most 5% of throughput on any suite benchmark.  Quick mode
@@ -72,6 +84,17 @@ fn main() {
                 100.0 * overhead.overhead_fraction,
                 overhead.id,
                 100.0 * RECORDER_OVERHEAD_BUDGET,
+            );
+        }
+        // The resilience acceptance bar, same shape: fault-free supervised
+        // execution may cost at most 5% of throughput on any suite benchmark.
+        for overhead in &report.supervision_overhead {
+            assert!(
+                overhead.overhead_fraction <= SUPERVISION_OVERHEAD_BUDGET,
+                "supervision costs {:.2}% on {} (budget {:.0}%)",
+                100.0 * overhead.overhead_fraction,
+                overhead.id,
+                100.0 * SUPERVISION_OVERHEAD_BUDGET,
             );
         }
     }

@@ -17,7 +17,7 @@ use as_rng::default_rng;
 use cbls_core::{AdaptiveSearch, StopControl};
 use cbls_obs::{FlightRecorder, RecorderConfig, TraceMeta};
 use cbls_parallel::{
-    CountingSink, SequentialExecutor, WalkBatch, WalkExecutor, WalkJob, WalkSeeds,
+    CountingSink, SequentialExecutor, Supervision, WalkBatch, WalkExecutor, WalkJob, WalkSeeds,
 };
 use cbls_problems::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -129,12 +129,24 @@ pub struct EngineThroughputReport {
     /// profiling off), one entry per suite benchmark.  The observability
     /// budget is [`RECORDER_OVERHEAD_BUDGET`] of throughput per benchmark.
     pub recorder_overhead: Vec<ExecutorOverheadResult>,
+    /// Cost of supervised execution (heartbeat publication at every
+    /// stop-poll plus lock-free best-so-far slots), one entry per suite
+    /// benchmark.  The resilience budget is [`SUPERVISION_OVERHEAD_BUDGET`]
+    /// of throughput per benchmark; the `events` field holds the heartbeats
+    /// the supervised run published.
+    pub supervision_overhead: Vec<ExecutorOverheadResult>,
 }
 
 /// The acceptance bar for the flight recorder: attaching it may cost at most
 /// this fraction of iterations/sec on any suite benchmark (asserted by the
 /// throughput binary in full mode).
 pub const RECORDER_OVERHEAD_BUDGET: f64 = 0.05;
+
+/// The acceptance bar for the supervision layer: running a batch through
+/// `execute_supervised` (heartbeats + best-so-far publication, no faults
+/// injected) may cost at most this fraction of iterations/sec on any suite
+/// benchmark (asserted by the throughput binary in full mode).
+pub const SUPERVISION_OVERHEAD_BUDGET: f64 = 0.05;
 
 /// The benchmark set every throughput report measures: the paper's CAP
 /// headline instance, a spread of the other hand-coded catalog models, and
@@ -412,6 +424,89 @@ pub fn measure_recorder_overhead(
     }
 }
 
+/// Measure the cost of the supervision layer on one benchmark: the same
+/// fixed-budget run through [`SequentialExecutor`] plain and through
+/// `execute_supervised` with a fresh [`Supervision`] table (heartbeat
+/// publication at every stop-poll, best-so-far slots, kill-flag polling) —
+/// the fault-free steady state a long campaign pays for all the time.
+///
+/// Both passes must produce the same trajectory — supervision is passive by
+/// contract — and the `events` field reports the heartbeats the supervised
+/// run published.  The repetition strategy (best rate, adaptive extra paired
+/// reps until the estimate settles inside 80% of the budget) mirrors
+/// [`measure_recorder_overhead`]; see there for why.
+#[must_use]
+pub fn measure_supervision_overhead(
+    benchmark: &Benchmark,
+    config: &ThroughputConfig,
+) -> ExecutorOverheadResult {
+    let mut tuned = benchmark.tuned_config();
+    tuned.target_cost = -1;
+    let per_restart = tuned.max_iterations_per_restart;
+    let total = config.budget;
+    // Same pure budget-of-restart-index closure as the executor measurement.
+    let budget = move |restart: u64| {
+        let used = restart.saturating_mul(per_restart);
+        (used < total).then(|| per_restart.min(total - used))
+    };
+    let job = WalkJob::new(tuned)
+        .with_label(benchmark.id())
+        .with_budget(budget);
+    let batch = WalkBatch::new(WalkSeeds::new(THROUGHPUT_SEED), vec![job]).run_to_completion();
+    let factory = || benchmark.build();
+
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let mut iterations = 0;
+    let mut events = 0;
+    let base_reps = config.repetitions.max(1);
+    let max_reps = base_reps * 4;
+    let mut rep = 0;
+    while rep < max_reps {
+        rep += 1;
+        let off = SequentialExecutor.execute(&factory, &batch);
+        let off_iters = off.records[0].outcome.stats.iterations;
+        let off_rate = off_iters as f64 / off.wall_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        if off_rate > best_off {
+            best_off = off_rate;
+            iterations = off_iters;
+        }
+
+        let supervision = Supervision::new(batch.walks());
+        let on = SequentialExecutor.execute_supervised(&factory, &batch, None, &supervision);
+        let on_iters = on.records[0].outcome.stats.iterations;
+        assert_eq!(
+            off_iters, on_iters,
+            "supervision must not perturb the trajectory"
+        );
+        let on_rate = on_iters as f64 / on.wall_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        if on_rate > best_on {
+            best_on = on_rate;
+            events = supervision.heartbeat_of(0);
+        }
+
+        if rep >= base_reps
+            && best_off > 0.0
+            && 1.0 - best_on / best_off <= SUPERVISION_OVERHEAD_BUDGET * 0.8
+        {
+            break;
+        }
+    }
+
+    ExecutorOverheadResult {
+        id: benchmark.id(),
+        iterations,
+        iters_per_sec_events_off: best_off,
+        iters_per_sec_events_on: best_on,
+        overhead_fraction: if best_off > 0.0 {
+            1.0 - best_on / best_off
+        } else {
+            0.0
+        },
+        events,
+    }
+}
+
 /// Measure the whole suite and assemble the report.
 #[must_use]
 pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputReport {
@@ -445,6 +540,10 @@ pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputRepo
         recorder_overhead: throughput_suite()
             .iter()
             .map(|b| measure_recorder_overhead(b, config))
+            .collect(),
+        supervision_overhead: throughput_suite()
+            .iter()
+            .map(|b| measure_supervision_overhead(b, config))
             .collect(),
     }
 }
@@ -502,6 +601,7 @@ mod tests {
         );
         assert_eq!(report.executor_overhead.id, "costas-14");
         assert_eq!(report.recorder_overhead.len(), throughput_suite().len());
+        assert_eq!(report.supervision_overhead.len(), throughput_suite().len());
         let json = serde_json::to_string(&report).unwrap();
         let back: EngineThroughputReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
@@ -520,6 +620,22 @@ mod tests {
         assert!(overhead.iters_per_sec_events_on > 0.0);
         // Started + Finished at minimum, plus restarts and improvements.
         assert!(overhead.events >= 2);
+        assert!(overhead.overhead_fraction < 1.0);
+    }
+
+    #[test]
+    fn supervision_overhead_is_passive_and_counts_heartbeats() {
+        let config = ThroughputConfig {
+            budget: 600,
+            repetitions: 1,
+        };
+        let overhead = measure_supervision_overhead(&Benchmark::NQueens(16), &config);
+        assert_eq!(overhead.id, "queens-16");
+        assert_eq!(overhead.iterations, 600);
+        assert!(overhead.iters_per_sec_events_off > 0.0);
+        assert!(overhead.iters_per_sec_events_on > 0.0);
+        // heartbeats are published at every stop-poll of the supervised run
+        assert!(overhead.events >= 1);
         assert!(overhead.overhead_fraction < 1.0);
     }
 

@@ -317,6 +317,7 @@ impl AdaptiveSearch {
                     best_cost = cost;
                     best_perm = perm.clone();
                     observer.on_improvement(stats.iterations, cost);
+                    observer.on_new_best(stats.iterations, cost, &best_perm);
                 }
                 if cost <= cfg.target_cost {
                     reason = TerminationReason::Solved;
@@ -328,6 +329,7 @@ impl AdaptiveSearch {
                 }
                 if until_stop_check == 0 {
                     until_stop_check = cfg.stop_check_interval;
+                    observer.on_heartbeat(stats.iterations);
                     if stop.should_stop() {
                         reason = if stop.stop_requested() {
                             TerminationReason::ExternallyStopped

@@ -261,6 +261,18 @@ pub trait EvaluatorFactory: Send + Sync {
 
     /// Build a fresh evaluator instance.
     fn build(&self) -> Self::Output;
+
+    /// Build the evaluator for one specific walk attempt.
+    ///
+    /// The multi-walk executor calls this form, passing the walk's seed
+    /// stream identity (`walk_id`, plus the retry `attempt` — 0 for the
+    /// original run).  The default ignores both and delegates to
+    /// [`build`](Self::build); a fault-injection harness overrides it to
+    /// target specific walks while staying bit-identical everywhere else.
+    fn build_walk(&self, walk_id: usize, attempt: u32) -> Self::Output {
+        let _ = (walk_id, attempt);
+        self.build()
+    }
 }
 
 impl<E: Evaluator, F: Fn() -> E + Send + Sync> EvaluatorFactory for F {

@@ -47,6 +47,9 @@
 //! * [`SearchObserver`] / [`SearchPhase`] — passive restart / improvement
 //!   hooks consumed by the multi-walk executor's telemetry stream, plus the
 //!   opt-in per-iteration phase spans behind the observability layer.
+//! * [`BestSoFar`] / [`Incumbent`] — per-walk anytime publication of the
+//!   best assignment found so far, feeding the supervision layer's partial
+//!   results for faulted or deadline-expired batches.
 //! * [`Summary`] — descriptive statistics over repeated runs.
 //! * [`consistency`] — the evaluator consistency harness: randomized checks
 //!   of the incremental contract that every problem crate's tests call.
@@ -58,6 +61,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anytime;
 mod config;
 pub mod consistency;
 mod engine;
@@ -67,6 +71,7 @@ mod outcome;
 mod stop;
 mod summary;
 
+pub use anytime::{BestSoFar, Incumbent};
 pub use config::{SearchConfig, SearchConfigBuilder};
 pub use engine::AdaptiveSearch;
 pub use evaluator::{Evaluator, EvaluatorFactory, IncrementalProfile};

@@ -143,6 +143,26 @@ pub trait SearchObserver {
         let _ = (iteration, cost);
     }
 
+    /// The run's best *assignment* strictly improved: `assignment` realizes
+    /// `cost`, the new best.  Fired on the same cold edge as
+    /// [`on_improvement`](Self::on_improvement), immediately after it, with
+    /// the engine's updated best permutation.  The supervision layer uses
+    /// this to publish anytime incumbents into a
+    /// [`BestSoFar`](crate::BestSoFar) slot; like every hook it is passive
+    /// and must not retain the borrow.
+    fn on_new_best(&mut self, iteration: u64, cost: i64, assignment: &[usize]) {
+        let _ = (iteration, cost, assignment);
+    }
+
+    /// Liveness heartbeat: fired every `stop_check_interval` iterations at
+    /// the engine's stop-poll site, with the iteration count so far.  A stall
+    /// watchdog can compare successive readings of a counter incremented
+    /// here; a search that stops calling this either finished or is stuck
+    /// inside its evaluator.
+    fn on_heartbeat(&mut self, iterations: u64) {
+        let _ = iterations;
+    }
+
     /// Whether this observer wants per-iteration phase spans.
     ///
     /// The engine reads this **once** per solve call, before the first
@@ -184,6 +204,8 @@ mod tests {
         let mut obs = NoObserver;
         obs.on_restart(3);
         obs.on_improvement(10, 42);
+        obs.on_new_best(10, 42, &[1, 0]);
+        obs.on_heartbeat(100);
         assert!(!obs.observes_phases());
         obs.on_phase(SearchPhase::CandidateScan, 100);
 
@@ -192,6 +214,8 @@ mod tests {
         let mut empty = Empty;
         empty.on_restart(0);
         empty.on_improvement(0, 0);
+        empty.on_new_best(0, 0, &[]);
+        empty.on_heartbeat(0);
         assert!(!empty.observes_phases());
         empty.on_phase(SearchPhase::Projection, 0);
     }

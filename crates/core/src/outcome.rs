@@ -20,6 +20,10 @@ pub enum TerminationReason {
     ExternallyStopped,
     /// The wall-clock deadline attached to the stop control passed.
     TimedOut,
+    /// The run died mid-search (panicking evaluator, stalled walk) and its
+    /// outcome was synthesized by the supervision layer from whatever the
+    /// walk had published before the fault.
+    Faulted,
 }
 
 impl TerminationReason {
@@ -116,6 +120,7 @@ mod tests {
         assert!(!TerminationReason::IterationBudgetExhausted.is_solved());
         assert!(!TerminationReason::ExternallyStopped.is_solved());
         assert!(!TerminationReason::TimedOut.is_solved());
+        assert!(!TerminationReason::Faulted.is_solved());
     }
 
     #[test]

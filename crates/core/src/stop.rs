@@ -24,9 +24,16 @@ pub fn monotonic_now() -> Instant {
 }
 
 /// Shared, cheaply clonable stop signal checked periodically by the engine.
+///
+/// Besides the *shared* flag (raised by [`request_stop`](Self::request_stop)
+/// for every sibling walk at once), a control can carry a *local* flag
+/// attached with [`and_local_flag`](Self::and_local_flag): a kill switch for
+/// this one walk that a supervisor raises to cancel a stalled search without
+/// disturbing its siblings.  Both flags read as an externally requested stop.
 #[derive(Debug, Clone)]
 pub struct StopControl {
     flag: Arc<AtomicBool>,
+    local: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
 }
 
@@ -42,6 +49,7 @@ impl StopControl {
     pub fn new() -> Self {
         Self {
             flag: Arc::new(AtomicBool::new(false)),
+            local: None,
             deadline: None,
         }
     }
@@ -63,6 +71,7 @@ impl StopControl {
     pub fn with_deadline(deadline: Instant) -> Self {
         Self {
             flag: Arc::new(AtomicBool::new(false)),
+            local: None,
             deadline: Some(deadline),
         }
     }
@@ -73,6 +82,7 @@ impl StopControl {
     pub fn with_shared_flag(flag: Arc<AtomicBool>) -> Self {
         Self {
             flag,
+            local: None,
             deadline: None,
         }
     }
@@ -88,6 +98,25 @@ impl StopControl {
     pub fn and_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Attach a walk-local kill flag to this control.
+    ///
+    /// The supervision layer gives each walk its own flag on top of the
+    /// batch-shared one: raising it cancels exactly that walk (the engine
+    /// reports [`ExternallyStopped`](crate::TerminationReason)) while its
+    /// siblings keep running.  [`request_stop`](Self::request_stop) still
+    /// raises only the shared flag.
+    #[must_use]
+    pub fn and_local_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.local = Some(flag);
+        self
+    }
+
+    /// The walk-local kill flag, if one is attached.
+    #[must_use]
+    pub fn local_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.local.as_ref().map(Arc::clone)
     }
 
     /// The monotonic deadline, if one is set.
@@ -129,18 +158,23 @@ impl StopControl {
     }
 
     /// Whether a stop has been requested (does not consider the deadline).
+    /// Either flag counts: a batch-wide stop and a walk-local kill both read
+    /// as an external request, so the engine reports `ExternallyStopped`
+    /// rather than `TimedOut` for a supervisor-cancelled walk.
     #[must_use]
     pub fn stop_requested(&self) -> bool {
-        // Acquire: pairs with the Release store in `request_stop`.
+        // Acquire: pairs with the Release store in `request_stop` (and in a
+        // supervisor raising the local kill flag).
         self.flag.load(Ordering::Acquire)
+            // Acquire: same pairing as the shared flag above.
+            || self.local.as_ref().is_some_and(|f| f.load(Ordering::Acquire))
     }
 
-    /// Whether the engine should stop now, either because the flag is raised
+    /// Whether the engine should stop now, because either flag is raised
     /// or because the deadline has passed.
     #[must_use]
     pub fn should_stop(&self) -> bool {
-        // Acquire: pairs with the Release store in `request_stop`.
-        self.flag.load(Ordering::Acquire) || self.deadline_passed()
+        self.stop_requested() || self.deadline_passed()
     }
 }
 
@@ -232,6 +266,31 @@ mod tests {
             !flag.load(Ordering::Acquire),
             "deadline must not raise the flag"
         );
+    }
+
+    #[test]
+    fn local_flag_stops_only_its_own_control() {
+        let shared = StopControl::new();
+        let kill = Arc::new(AtomicBool::new(false));
+        let killed = shared.clone().and_local_flag(Arc::clone(&kill));
+        assert!(!killed.should_stop());
+        assert_eq!(
+            killed.local_flag().map(|f| Arc::as_ptr(&f)),
+            Some(Arc::as_ptr(&kill))
+        );
+
+        // Release: pairs with the Acquire loads in `stop_requested`.
+        kill.store(true, Ordering::Release);
+        assert!(killed.should_stop());
+        // A local kill reads as an externally requested stop...
+        assert!(killed.stop_requested());
+        // ...but never leaks into the sibling-shared control.
+        assert!(!shared.should_stop());
+        assert!(!shared.stop_requested());
+
+        // The shared flag still reaches the killed walk's control.
+        shared.request_stop();
+        assert!(killed.stop_requested());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Seeded violations for `no-unwrap-in-supervisor`: the fixture test lints
+//! this source under a supervision-path name (the rule is path-scoped).
+
+fn joins(handle: std::thread::JoinHandle<u32>) -> u32 {
+    handle.join().unwrap()
+}
+
+fn expects(handle: std::thread::JoinHandle<u32>) -> u32 {
+    handle.join().expect("worker panicked")
+}
+
+fn drains(rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    rx.recv().unwrap()
+}
+
+fn impatient(rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    rx.try_recv().unwrap()
+}
+
+fn allowed(handle: std::thread::JoinHandle<u32>) -> u32 {
+    // lint: allow(no-unwrap-in-supervisor) — fixture: escape must suppress
+    handle.join().unwrap()
+}
+
+fn rethrows(handle: std::thread::JoinHandle<u32>) -> u32 {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn unrelated(v: Option<u32>) -> u32 {
+    v.unwrap() // not a join/recv result: outside the rule's shape
+}

@@ -3,9 +3,11 @@
 //! The performance story of this workspace rests on contracts the compiler
 //! cannot see: the engine's hot-path probe methods must be alloc-free, every
 //! wall-clock read must flow through `cbls_core::stop`'s monotonic deadlines,
-//! each atomic memory ordering must be deliberate, and an
-//! `IncrementalProfile` must never claim a hook its `impl Evaluator` does not
-//! override.  `cbls-lint` enforces all four with a hand-rolled token scanner
+//! each atomic memory ordering must be deliberate, an `IncrementalProfile`
+//! must never claim a hook its `impl Evaluator` does not override, and the
+//! executor supervision paths must never `.unwrap()` a join or
+//! channel-receive result (a faulted walk becomes a structured `WalkFault`,
+//! not batch death).  `cbls-lint` enforces all five with a hand-rolled token scanner
 //! (no `syn`/registry access — same approach as the vendored
 //! `serde_derive`): see [`rules`] for the rule set and the
 //! `lint: allow(<rule>) — <reason>` escape.

@@ -1,4 +1,4 @@
-//! The four repo-specific lint rules, plus the `lint: allow(...)` escape.
+//! The five repo-specific lint rules, plus the `lint: allow(...)` escape.
 //!
 //! Each rule reports [`Finding`]s over one scanned file.  A finding at line
 //! `L` is suppressed by a comment *starting* with the marker, of the form
@@ -20,15 +20,19 @@ pub const ATOMICS_ORDERING_JUSTIFIED: &str = "atomics-ordering-justified";
 /// Rule: `IncrementalProfile` claims must match the methods an
 /// `impl Evaluator` actually overrides.
 pub const INCREMENTAL_CONTRACT_COMPLETE: &str = "incremental-contract-complete";
+/// Rule: no `.unwrap()` / `.expect()` on `join` / channel-receive results
+/// inside the executor supervision paths.
+pub const NO_UNWRAP_IN_SUPERVISOR: &str = "no-unwrap-in-supervisor";
 /// Pseudo-rule reported for unparsable `lint:` escape comments.
 pub const MALFORMED_LINT_ALLOW: &str = "malformed-lint-allow";
 
 /// All suppressible rule names (the escape comment must name one of these).
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     NO_ALLOC_HOT_PATH,
     NO_WALLCLOCK_OUTSIDE_STOP,
     ATOMICS_ORDERING_JUSTIFIED,
     INCREMENTAL_CONTRACT_COMPLETE,
+    NO_UNWRAP_IN_SUPERVISOR,
 ];
 
 /// The engine hot-path methods rule `no-alloc-hot-path` guards.
@@ -89,6 +93,7 @@ pub fn lint_scanned(rel_path: &str, scanned: &Scanned) -> Vec<Finding> {
     check_no_wallclock(rel_path, scanned, &mut findings);
     check_atomics_justified(rel_path, scanned, &mut findings);
     check_incremental_contract(rel_path, scanned, &structure, &mut findings);
+    check_no_unwrap_in_supervisor(rel_path, scanned, &mut findings);
 
     let (allows, mut malformed) = parse_allows(rel_path, &scanned.comments);
     findings.retain(|f| {
@@ -319,6 +324,77 @@ fn check_incremental_contract(
                 });
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: no-unwrap-in-supervisor
+// ---------------------------------------------------------------------------
+
+/// Files forming the supervised execution path, where a `.unwrap()` on a
+/// join or channel-receive result would turn an isolated walk fault into
+/// batch death: the executor layer, the supervision table and the whole
+/// resilience crate.
+#[must_use]
+pub fn supervisor_scope(rel_path: &str) -> bool {
+    let p = rel_path.replace('\\', "/");
+    p.ends_with("crates/parallel/src/executor.rs")
+        || p.ends_with("crates/parallel/src/supervision.rs")
+        || p.contains("crates/resilience/src/")
+}
+
+/// Receiver methods whose `Result` carries a fault that supervision must
+/// classify, not unwrap.
+const FAULT_CARRYING_CALLS: [&str; 4] = ["join", "recv", "try_recv", "recv_timeout"];
+
+fn check_no_unwrap_in_supervisor(rel_path: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
+    if !supervisor_scope(rel_path) {
+        return;
+    }
+    let toks = &scanned.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_call = toks[i].kind == TokenKind::Ident
+            && FAULT_CARRYING_CALLS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let call = toks[i].text.clone();
+        // skip the balanced argument list of the call
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if toks.get(j + 1).is_some_and(|t| t.is_punct('.')) {
+            if let Some(m) = toks
+                .get(j + 2)
+                .filter(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            {
+                findings.push(Finding {
+                    rule: NO_UNWRAP_IN_SUPERVISOR,
+                    file: rel_path.to_string(),
+                    line: m.line,
+                    message: format!(
+                        "`.{}()` on a `{call}()` result inside a supervision path — a \
+                         faulted walk must become a structured `WalkFault`, not kill \
+                         the batch (match the `Err` and classify or `resume_unwind`)",
+                        m.text
+                    ),
+                });
+            }
+        }
+        i = j + 1;
     }
 }
 

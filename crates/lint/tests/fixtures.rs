@@ -137,6 +137,48 @@ fn incremental_contract_rule_catches_overclaiming_profiles() {
 }
 
 #[test]
+fn unwrap_in_supervisor_fires_on_join_and_recv_results() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("unwrap_in_supervisor.rs");
+    let source = std::fs::read_to_string(path).unwrap();
+    // Under a supervision path: one finding per seeded unwrap/expect, the
+    // escaped call, the match-and-rethrow idiom and the non-join unwrap
+    // stay clean.
+    let findings = cbls_lint::lint_source("crates/resilience/src/supervisor.rs", &source);
+    assert_eq!(
+        rule_lines(&findings, rules::NO_UNWRAP_IN_SUPERVISOR),
+        vec![5, 9, 13, 17],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 4, "findings: {findings:#?}");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("`.expect()`")));
+    assert!(messages.iter().any(|m| m.contains("`recv()`")));
+    assert!(messages.iter().any(|m| m.contains("`try_recv()`")));
+}
+
+#[test]
+fn unwrap_in_supervisor_is_scoped_to_supervision_paths() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("unwrap_in_supervisor.rs");
+    let source = std::fs::read_to_string(path).unwrap();
+    for (rel, covered) in [
+        ("crates/parallel/src/executor.rs", true),
+        ("crates/parallel/src/supervision.rs", true),
+        ("crates/resilience/src/retry.rs", true),
+        ("crates/parallel/src/multiwalk.rs", false),
+        ("crates/core/src/engine.rs", false),
+    ] {
+        assert_eq!(rules::supervisor_scope(rel), covered, "{rel}");
+        let findings = cbls_lint::lint_source(rel, &source);
+        let fired = !rule_lines(&findings, rules::NO_UNWRAP_IN_SUPERVISOR).is_empty();
+        assert_eq!(fired, covered, "{rel}: scope mismatch");
+    }
+}
+
+#[test]
 fn malformed_escapes_are_findings_not_silence() {
     let findings = lint_fixture("malformed_allow.rs");
     assert_eq!(

@@ -128,6 +128,24 @@ pub fn chrome_trace_json(recording: &TraceRecording) -> String {
                     cost
                 ));
             }
+            TraceEventKind::Faulted { fault, attempt } => {
+                events.push(format!(
+                    r#"{{"name":"fault: {:?}","cat":"fault","ph":"i","s":"t","pid":0,"tid":{},"ts":{},"args":{{"attempt":{}}}}}"#,
+                    fault,
+                    event.walk_id,
+                    micros(event.t_nanos),
+                    attempt
+                ));
+            }
+            TraceEventKind::Retried { attempt, seed } => {
+                events.push(format!(
+                    r#"{{"name":"retry {}","cat":"fault","ph":"i","s":"t","pid":0,"tid":{},"ts":{},"args":{{"seed":{}}}}}"#,
+                    attempt,
+                    event.walk_id,
+                    micros(event.t_nanos),
+                    seed
+                ));
+            }
             // Lifecycle kinds never appear in the sampled stream.
             TraceEventKind::Started { .. } | TraceEventKind::Finished { .. } => {}
         }

@@ -24,7 +24,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use cbls_core::{monotonic_now, SearchPhase};
-use cbls_parallel::{BatchExecution, EventSink, WalkEvent};
+use cbls_parallel::{BatchExecution, EventSink, FaultKind, WalkEvent};
 
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::trace::{
@@ -76,6 +76,9 @@ struct StandardMetrics {
     restarts: Counter,
     improvements: Counter,
     iterations: Counter,
+    faults_panicked: Counter,
+    faults_stalled: Counter,
+    faults_retried: Counter,
     best_cost: Gauge,
     walk_iterations: Histogram,
 }
@@ -90,6 +93,9 @@ impl StandardMetrics {
             restarts: registry.counter("engine.restarts"),
             improvements: registry.counter("engine.improvements"),
             iterations: registry.counter("engine.iterations"),
+            faults_panicked: registry.counter("faults.panicked"),
+            faults_stalled: registry.counter("faults.stalled"),
+            faults_retried: registry.counter("faults.retried"),
             best_cost: registry.gauge("cost.best"),
             walk_iterations: registry.histogram(
                 "walk.iterations",
@@ -380,6 +386,44 @@ impl EventSink for FlightRecorder {
                         },
                     });
                 }
+            }
+            WalkEvent::Faulted {
+                walk_id,
+                kind,
+                attempt,
+            } => {
+                match kind {
+                    FaultKind::Panicked => self.metrics.faults_panicked.inc(),
+                    FaultKind::Stalled => self.metrics.faults_stalled.inc(),
+                }
+                let mut state = self.state.lock().expect("recorder state poisoned");
+                state.offer(
+                    self.config.capacity,
+                    TraceEvent {
+                        t_nanos,
+                        walk_id,
+                        kind: TraceEventKind::Faulted {
+                            fault: kind,
+                            attempt,
+                        },
+                    },
+                );
+            }
+            WalkEvent::Retried {
+                walk_id,
+                attempt,
+                seed,
+            } => {
+                self.metrics.faults_retried.inc();
+                let mut state = self.state.lock().expect("recorder state poisoned");
+                state.offer(
+                    self.config.capacity,
+                    TraceEvent {
+                        t_nanos,
+                        walk_id,
+                        kind: TraceEventKind::Retried { attempt, seed },
+                    },
+                );
             }
         }
     }

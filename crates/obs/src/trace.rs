@@ -14,7 +14,7 @@
 //! timing never enters the schema.
 
 use cbls_core::SearchPhase;
-use cbls_parallel::BatchExecution;
+use cbls_parallel::{BatchExecution, FaultKind};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::MetricsSnapshot;
@@ -69,6 +69,20 @@ pub enum TraceEventKind {
         phase: SearchPhase,
         /// Span length in monotonic nanoseconds.
         dur_nanos: u64,
+    },
+    /// The walk faulted (panicked or was declared stalled).
+    Faulted {
+        /// Payload-free fault classification.
+        fault: FaultKind,
+        /// Which attempt of the walk faulted (0 = the original).
+        attempt: u32,
+    },
+    /// A supervisor rescheduled the walk under a fresh retry stream.
+    Retried {
+        /// The retry's attempt index (1-based; attempt 0 is the original).
+        attempt: u32,
+        /// The retry stream's derived 64-bit seed.
+        seed: u64,
     },
 }
 

@@ -27,15 +27,19 @@
 //! module.
 
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
 use cbls_core::{
-    monotonic_now, AdaptiveSearch, EvaluatorFactory, SearchConfig, SearchOutcome, StopControl,
+    monotonic_now, AdaptiveSearch, EvaluatorFactory, Incumbent, SearchConfig, SearchOutcome,
+    SearchStats, StopControl, TerminationReason,
 };
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::seeds::WalkSeeds;
+use crate::supervision::{DegradationReason, FaultKind, Supervision, WalkFault};
 use crate::telemetry::{EventSink, WalkEvent, WalkObserver};
 
 /// A restart-budget schedule shared across threads: maps the 0-based restart
@@ -59,6 +63,21 @@ pub struct WalkJob {
     /// External restart schedule; `None` runs the configuration's own fixed
     /// `max_iterations_per_restart` / `max_restarts` schedule.
     pub budget: Option<WalkBudget>,
+    /// Seed-stream override; `None` draws the stream of the job's position
+    /// in the batch (attempt 0).  A supervisor retrying walk `w` as a fresh
+    /// batch sets this to keep the retry on walk `w`'s deterministically
+    /// rederived attempt stream.
+    pub stream: Option<WalkStream>,
+}
+
+/// The seed-stream identity of one walk attempt: which original walk the job
+/// replays, and which retry attempt it is (0 = the original run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkStream {
+    /// The original walk id whose seed family the job draws from.
+    pub walk: usize,
+    /// Retry attempt (0 reproduces the original stream exactly).
+    pub attempt: u32,
 }
 
 impl WalkJob {
@@ -69,6 +88,7 @@ impl WalkJob {
             label: String::new(),
             search,
             budget: None,
+            stream: None,
         }
     }
 
@@ -90,6 +110,24 @@ impl WalkJob {
         self.budget = Some(Arc::new(budget));
         self
     }
+
+    /// Pin the job to the seed stream of retry `attempt` of original walk
+    /// `walk`, regardless of the job's position in its batch.
+    #[must_use]
+    pub fn with_stream(mut self, walk: usize, attempt: u32) -> Self {
+        self.stream = Some(WalkStream { walk, attempt });
+        self
+    }
+
+    /// The stream this job draws when placed at position `walk_id` of a
+    /// batch: the override if one is pinned, otherwise `(walk_id, 0)`.
+    #[must_use]
+    pub fn stream_at(&self, walk_id: usize) -> WalkStream {
+        self.stream.unwrap_or(WalkStream {
+            walk: walk_id,
+            attempt: 0,
+        })
+    }
 }
 
 impl fmt::Debug for WalkJob {
@@ -98,6 +136,7 @@ impl fmt::Debug for WalkJob {
             .field("label", &self.label)
             .field("search", &self.search)
             .field("budget", &self.budget.as_ref().map(|_| "<schedule>"))
+            .field("stream", &self.stream)
             .finish()
     }
 }
@@ -110,6 +149,7 @@ pub struct WalkBatch {
     jobs: Vec<WalkJob>,
     timeout: Option<Duration>,
     stop_on_first_success: bool,
+    winner_rule: WinnerRule,
 }
 
 impl WalkBatch {
@@ -127,6 +167,7 @@ impl WalkBatch {
             jobs,
             timeout: None,
             stop_on_first_success: true,
+            winner_rule: WinnerRule::WallClockFirst,
         }
     }
 
@@ -197,6 +238,20 @@ impl WalkBatch {
     pub fn stops_on_first_success(&self) -> bool {
         self.stop_on_first_success
     }
+
+    /// Resolve winners with `rule` instead of the wall-clock default (see
+    /// [`WinnerRule`]).
+    #[must_use]
+    pub fn with_winner_rule(mut self, rule: WinnerRule) -> Self {
+        self.winner_rule = rule;
+        self
+    }
+
+    /// The batch's winner-resolution rule.
+    #[must_use]
+    pub fn winner_rule(&self) -> WinnerRule {
+        self.winner_rule
+    }
 }
 
 /// The outcome of one walk of an executed batch.
@@ -208,17 +263,30 @@ pub struct WalkRecord {
     pub label: String,
     /// The walk's derived 64-bit seed.
     pub seed: u64,
-    /// The walk's search outcome.
+    /// The walk's search outcome (synthesized from the walk's published
+    /// best-so-far when [`fault`](Self::fault) is set).
     pub outcome: SearchOutcome,
+    /// The structured fault that ended the walk, if it did not finish
+    /// normally.
+    pub fault: Option<WalkFault>,
+    /// Which seed-stream attempt produced this record (0 = the original
+    /// run; a supervised retry reports its attempt index).
+    pub attempt: u32,
 }
 
 /// The aggregate result of executing a [`WalkBatch`].
 #[derive(Debug, Clone)]
 pub struct BatchExecution {
-    /// The winning walk per [`select_winner`], if any walk solved.
+    /// The winning walk per the batch's [`WinnerRule`], if any walk solved.
     pub winner: Option<usize>,
     /// Per-walk records, ordered by walk index.
     pub records: Vec<WalkRecord>,
+    /// The best assignment any walk reported or published — the anytime
+    /// result that survives deadlines and faults.  `None` only when no walk
+    /// got far enough to hold a configuration (degenerate batches).
+    pub incumbent: Option<Incumbent>,
+    /// Why the batch degraded to a partial result, if it did.
+    pub degradation: Option<DegradationReason>,
     /// Wall-clock time of the whole batch.
     pub wall_time: Duration,
 }
@@ -228,6 +296,21 @@ impl BatchExecution {
     #[must_use]
     pub fn winning_record(&self) -> Option<&WalkRecord> {
         self.winner.map(|w| &self.records[w])
+    }
+
+    /// Whether this is a partial (anytime) result: the batch degraded
+    /// because its deadline expired without a winner and/or walks faulted.
+    /// The best incumbent is still available in
+    /// [`incumbent`](Self::incumbent).
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        self.degradation.is_some()
+    }
+
+    /// The records that ended in a fault, in walk order.
+    #[must_use]
+    pub fn faulted_records(&self) -> Vec<&WalkRecord> {
+        self.records.iter().filter(|r| r.fault.is_some()).collect()
     }
 }
 
@@ -250,18 +333,45 @@ impl WalkOutcome for WalkRecord {
     }
 }
 
-/// Resolve the winner of a multi-walk run: the solved walk with the smallest
-/// recorded elapsed time, ties broken by the smaller walk id.
+/// How a batch resolves its winner among the solved walks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WinnerRule {
+    /// Smallest recorded elapsed time, ties broken by walk id — the
+    /// historical default.  Deterministic across *schedulers* for a fixed
+    /// set of records, but the elapsed times themselves are wall-clock
+    /// measurements, so under run-to-completion semantics the winner can
+    /// differ run to run and back-end to back-end.
+    #[default]
+    WallClockFirst,
+    /// Fewest engine iterations, ties broken by walk id.  Iteration counts
+    /// are a pure function of (seed, configuration), so the winner is
+    /// bit-reproducible across runs and back-ends — the rule the
+    /// cross-backend agreement suite pins.
+    IterationsFirst,
+}
+
+/// Resolve the winner of a multi-walk run under the historical
+/// wall-clock-first rule (see [`WinnerRule::WallClockFirst`]).
 ///
 /// Using the recorded elapsed time (rather than wall-clock arrival order)
 /// keeps the choice deterministic across schedulers; the tie-break makes it
 /// total.  Returns `None` when no walk solved.
 pub fn select_winner<R: WalkOutcome>(reports: &[R]) -> Option<usize> {
-    reports
-        .iter()
-        .filter(|r| r.outcome().solved())
-        .min_by_key(|r| (r.outcome().elapsed, r.walk_id()))
-        .map(WalkOutcome::walk_id)
+    select_winner_by(reports, WinnerRule::WallClockFirst)
+}
+
+/// Resolve the winner of a multi-walk run under `rule`; returns `None` when
+/// no walk solved.
+pub fn select_winner_by<R: WalkOutcome>(reports: &[R], rule: WinnerRule) -> Option<usize> {
+    let solved = reports.iter().filter(|r| r.outcome().solved());
+    match rule {
+        WinnerRule::WallClockFirst => solved
+            .min_by_key(|r| (r.outcome().elapsed, r.walk_id()))
+            .map(WalkOutcome::walk_id),
+        WinnerRule::IterationsFirst => solved
+            .min_by_key(|r| (r.outcome().stats.iterations, r.walk_id()))
+            .map(WalkOutcome::walk_id),
+    }
 }
 
 /// An execution back-end for walk batches.
@@ -322,7 +432,7 @@ pub trait WalkExecutor: Sync {
         F: EvaluatorFactory,
         Self: Sized,
     {
-        execute_inner(self, factory, batch, None)
+        execute_inner(self, factory, batch, None, None)
     }
 
     /// Execute a batch, emitting [`WalkEvent`]s to `sink` as walks start,
@@ -338,7 +448,37 @@ pub trait WalkExecutor: Sync {
         F: EvaluatorFactory,
         Self: Sized,
     {
-        execute_inner(self, factory, batch, Some(sink))
+        execute_inner(self, factory, batch, Some(sink), None)
+    }
+
+    /// Execute a batch under a [`Supervision`] table: engines publish
+    /// anytime incumbents and liveness heartbeats into it, each walk's
+    /// [`StopControl`] carries the table's per-walk kill flag, and a
+    /// panicking walk recovers its published best into a
+    /// [`WalkFault::Panicked`] record instead of aborting the batch.
+    /// Supervision is passive on the fault-free path: records are
+    /// bit-identical to [`execute`](WalkExecutor::execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supervision` is not sized for the batch's walk count.
+    fn execute_supervised<F>(
+        &self,
+        factory: &F,
+        batch: &WalkBatch,
+        sink: Option<&dyn EventSink>,
+        supervision: &Supervision,
+    ) -> BatchExecution
+    where
+        F: EvaluatorFactory,
+        Self: Sized,
+    {
+        assert_eq!(
+            supervision.walks(),
+            batch.walks(),
+            "supervision table does not match the batch"
+        );
+        execute_inner(self, factory, batch, sink, Some(supervision))
     }
 }
 
@@ -366,7 +506,14 @@ impl WalkExecutor for ThreadsExecutor {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("walk thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(record) => record,
+                    // Walk-level `catch_unwind` isolation means a panic can
+                    // only reach this join if it escaped the isolation wrapper
+                    // (e.g. a non-unwindable abort); re-raise it on the caller
+                    // thread instead of discarding the payload.
+                    Err(payload) => resume_unwind(payload),
+                })
                 .collect()
         })
     }
@@ -430,6 +577,7 @@ fn execute_inner<X, F>(
     factory: &F,
     batch: &WalkBatch,
     sink: Option<&dyn EventSink>,
+    supervision: Option<&Supervision>,
 ) -> BatchExecution
 where
     X: WalkExecutor,
@@ -456,23 +604,147 @@ where
     let stop_on_first_success = batch.stop_on_first_success;
     let stop = &stop;
     let mut records: Vec<WalkRecord> = executor.run_batch(items, &move |walk_id, (job, engine)| {
-        run_walk(
-            factory,
-            job,
-            &engine,
-            seeds,
-            walk_id,
-            stop,
-            sink,
-            stop_on_first_success,
-        )
+        // Walk-level fault isolation: a panicking evaluator (or engine)
+        // becomes a structured `WalkFault::Panicked` record instead of
+        // unwinding through the back-end and killing the whole batch.
+        // `AssertUnwindSafe` is sound here: the closure's captures are only
+        // shared state designed for concurrent access (stop flags, sinks,
+        // supervision atomics) plus the walk's own engine/evaluator, which
+        // are discarded on the panic path.
+        let record = catch_unwind(AssertUnwindSafe(|| {
+            run_walk(
+                factory,
+                job,
+                &engine,
+                seeds,
+                walk_id,
+                stop,
+                sink,
+                supervision,
+                stop_on_first_success,
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            panicked_record(job, seeds, walk_id, &payload, sink, supervision)
+        });
+        if let Some(supervision) = supervision {
+            supervision.mark_done(walk_id);
+        }
+        record
     });
     records.sort_by_key(|r| r.walk_id);
 
+    let winner = select_winner_by(&records, batch.winner_rule);
+    let incumbent = batch_incumbent(&records, supervision);
+    let degradation = degradation_of(winner, &records);
     BatchExecution {
-        winner: select_winner(&records),
+        winner,
         records,
+        incumbent,
+        degradation,
         wall_time: started.elapsed(),
+    }
+}
+
+/// The best assignment the batch holds: the best over every record's final
+/// outcome, falling back to the supervision table's published incumbents for
+/// walks whose outcome carries no configuration (faulted before solving
+/// anything).  Ties break towards the lower cost, then the lower walk id —
+/// deterministic for deterministic records.
+fn batch_incumbent(records: &[WalkRecord], supervision: Option<&Supervision>) -> Option<Incumbent> {
+    let from_records = records
+        .iter()
+        .filter(|r| !r.outcome.solution.is_empty())
+        .min_by_key(|r| (r.outcome.best_cost, r.walk_id))
+        .map(|r| Incumbent {
+            walk_id: r.walk_id,
+            cost: r.outcome.best_cost,
+            assignment: r.outcome.solution.clone(),
+        });
+    let published = supervision.and_then(Supervision::incumbent);
+    match (from_records, published) {
+        (Some(a), Some(b)) => Some(if (b.cost, b.walk_id) < (a.cost, a.walk_id) {
+            b
+        } else {
+            a
+        }),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Classify why a batch degraded, if it did: faults always degrade; a blown
+/// deadline degrades only when it cost the batch its winner.
+fn degradation_of(winner: Option<usize>, records: &[WalkRecord]) -> Option<DegradationReason> {
+    let faulted = records.iter().any(|r| r.fault.is_some());
+    let deadline_expired = winner.is_none()
+        && records
+            .iter()
+            .any(|r| r.outcome.reason == TerminationReason::TimedOut);
+    match (deadline_expired, faulted) {
+        (true, true) => Some(DegradationReason::DeadlineExpiredWithFaults),
+        (true, false) => Some(DegradationReason::DeadlineExpired),
+        (false, true) => Some(DegradationReason::WalkFaults),
+        (false, false) => None,
+    }
+}
+
+/// Render a panic payload as text for a [`WalkFault::Panicked`] record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Synthesize the record of a panicked walk: the structured fault plus an
+/// outcome recovered from whatever the walk published into its best-so-far
+/// slot before dying.
+fn panicked_record(
+    job: &WalkJob,
+    seeds: WalkSeeds,
+    walk_id: usize,
+    payload: &(dyn std::any::Any + Send),
+    sink: Option<&dyn EventSink>,
+    supervision: Option<&Supervision>,
+) -> WalkRecord {
+    let stream = job.stream_at(walk_id);
+    let seed = seeds.seed_of_attempt(stream.walk, stream.attempt);
+    let (best_cost, solution) = supervision
+        .and_then(|s| s.best().best_of(walk_id))
+        .unwrap_or((i64::MAX, Vec::new()));
+    if let Some(sink) = sink {
+        sink.record(&WalkEvent::Faulted {
+            walk_id,
+            kind: FaultKind::Panicked,
+            attempt: stream.attempt,
+        });
+        // Close the walk's lifecycle (its `Started` was emitted before the
+        // panic): recordings of faulted batches still validate.
+        sink.record(&WalkEvent::Finished {
+            walk_id,
+            solved: false,
+            iterations: 0,
+            cost: best_cost,
+        });
+    }
+    WalkRecord {
+        walk_id,
+        label: job.label.clone(),
+        seed,
+        outcome: SearchOutcome {
+            reason: TerminationReason::Faulted,
+            best_cost,
+            solution,
+            stats: SearchStats::default(),
+            elapsed: Duration::ZERO,
+        },
+        fault: Some(WalkFault::Panicked {
+            message: panic_message(payload),
+        }),
+        attempt: stream.attempt,
     }
 }
 
@@ -487,18 +759,39 @@ fn run_walk<F>(
     walk_id: usize,
     stop: &StopControl,
     sink: Option<&dyn EventSink>,
+    supervision: Option<&Supervision>,
     stop_on_first_success: bool,
 ) -> WalkRecord
 where
     F: EvaluatorFactory,
 {
-    let seed = seeds.seed_of(walk_id);
+    let stream = job.stream_at(walk_id);
+    let seed = seeds.seed_of_attempt(stream.walk, stream.attempt);
+    if let Some(supervision) = supervision {
+        supervision.mark_started(walk_id);
+    }
     if let Some(sink) = sink {
         sink.record(&WalkEvent::Started { walk_id, seed });
     }
-    let mut evaluator = factory.build();
-    let mut rng = seeds.rng_of(walk_id);
-    let mut observer = WalkObserver { walk_id, sink };
+    let mut evaluator = factory.build_walk(stream.walk, stream.attempt);
+    let mut rng = seeds.rng_of_attempt(stream.walk, stream.attempt);
+    let mut observer = WalkObserver {
+        walk_id,
+        sink,
+        supervision,
+    };
+    // A supervised walk's stop control additionally carries its personal
+    // kill flag, so the watchdog can cancel it without touching siblings.
+    let supervised_stop;
+    let stop = match supervision {
+        Some(supervision) => {
+            supervised_stop = stop
+                .clone()
+                .and_local_flag(supervision.kill_flag_of(walk_id));
+            &supervised_stop
+        }
+        None => stop,
+    };
     let config = engine.config();
     let outcome = engine.solve_observed(
         &mut evaluator,
@@ -528,6 +821,8 @@ where
         label: job.label.clone(),
         seed,
         outcome,
+        fault: None,
+        attempt: stream.attempt,
     }
 }
 
@@ -595,6 +890,8 @@ mod tests {
                 stats: Default::default(),
                 elapsed: Duration::from_millis(elapsed_ms),
             },
+            fault: None,
+            attempt: 0,
         }
     }
 

@@ -42,15 +42,18 @@ mod multiwalk;
 mod seeds;
 mod simulate;
 pub mod speedup;
+pub mod supervision;
 pub mod telemetry;
 
 pub use executor::{
-    select_winner, BatchExecution, RayonExecutor, SequentialExecutor, ThreadsExecutor, WalkBatch,
-    WalkBudget, WalkExecutor, WalkJob, WalkOutcome, WalkRecord,
+    select_winner, select_winner_by, BatchExecution, RayonExecutor, SequentialExecutor,
+    ThreadsExecutor, WalkBatch, WalkBudget, WalkExecutor, WalkJob, WalkOutcome, WalkRecord,
+    WalkStream, WinnerRule,
 };
 pub use multiwalk::{
     run_multiwalk, run_rayon, run_threads, MultiWalkConfig, MultiWalkResult, WalkReport,
 };
 pub use seeds::WalkSeeds;
 pub use simulate::{SimulatedMultiWalk, SimulatedRun};
+pub use supervision::{DegradationReason, FaultKind, Supervision, WalkFault};
 pub use telemetry::{CountingSink, DistributionSink, EventLog, EventSink, WalkEvent};

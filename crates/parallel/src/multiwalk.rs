@@ -14,13 +14,14 @@
 
 use std::time::Duration;
 
-use cbls_core::{EvaluatorFactory, SearchConfig, SearchOutcome, Summary};
+use cbls_core::{EvaluatorFactory, Incumbent, SearchConfig, SearchOutcome, Summary};
 use serde::{Deserialize, Serialize};
 
 use crate::executor::{
     select_winner, RayonExecutor, ThreadsExecutor, WalkBatch, WalkExecutor, WalkJob, WalkOutcome,
 };
 use crate::seeds::WalkSeeds;
+use crate::supervision::{DegradationReason, WalkFault};
 use crate::telemetry::EventSink;
 
 /// Parameters of a multi-walk run.
@@ -87,6 +88,8 @@ pub struct WalkReport {
     pub seed: u64,
     /// The walk's search outcome (solved, stopped, exhausted, ...).
     pub outcome: SearchOutcome,
+    /// The walk's structured fault, if it panicked or stalled.
+    pub fault: Option<WalkFault>,
 }
 
 /// The aggregate result of a multi-walk run.
@@ -96,6 +99,10 @@ pub struct MultiWalkResult {
     pub winner: Option<usize>,
     /// Per-walk reports, ordered by walk index.
     pub reports: Vec<WalkReport>,
+    /// The best assignment the run holds, winner or not (anytime result).
+    pub incumbent: Option<Incumbent>,
+    /// Why the run returned a partial result, when it did.
+    pub degradation: Option<DegradationReason>,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
 }
@@ -187,11 +194,14 @@ where
             walk_id: r.walk_id,
             seed: r.seed,
             outcome: r.outcome,
+            fault: r.fault,
         })
         .collect();
     MultiWalkResult {
         winner: select_winner(&reports),
         reports,
+        incumbent: execution.incumbent,
+        degradation: execution.degradation,
         wall_time: execution.wall_time,
     }
 }

@@ -48,6 +48,37 @@ impl WalkSeeds {
     pub fn rngs(&self, walks: usize) -> Vec<DefaultRng> {
         (0..walks).map(|w| self.rng_of(w)).collect()
     }
+
+    /// The 64-bit seed of retry `attempt` of walk `walk_id`.
+    ///
+    /// This is the retry determinism contract: attempt 0 *is* the original
+    /// walk ([`seed_of`](Self::seed_of)); attempt `a > 0` re-roots the seed
+    /// sequence at the walk's own seed and draws child `a`, so every retry
+    /// stream is (a) a pure function of `(master, walk_id, attempt)`,
+    /// (b) distinct from all sibling walks and other attempts, and
+    /// (c) reproducible bit-for-bit on any back-end.
+    #[must_use]
+    pub fn seed_of_attempt(&self, walk_id: usize, attempt: u32) -> u64 {
+        if attempt == 0 {
+            self.seed_of(walk_id)
+        } else {
+            SeedSequence::u64_seed_for(self.seed_of(walk_id), u64::from(attempt))
+        }
+    }
+
+    /// A ready-to-use generator for retry `attempt` of walk `walk_id`
+    /// (attempt 0 matches [`rng_of`](Self::rng_of) exactly).
+    #[must_use]
+    pub fn rng_of_attempt(&self, walk_id: usize, attempt: u32) -> DefaultRng {
+        if attempt == 0 {
+            self.rng_of(walk_id)
+        } else {
+            Xoshiro256PlusPlus::from_seed(SeedSequence::seed_for(
+                self.seed_of(walk_id),
+                u64::from(attempt),
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +115,40 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), firsts.len());
+    }
+
+    #[test]
+    fn attempt_zero_is_the_original_walk() {
+        let s = WalkSeeds::new(2012);
+        assert_eq!(s.seed_of_attempt(4, 0), s.seed_of(4));
+        let mut original = s.rng_of(4);
+        let mut attempt0 = s.rng_of_attempt(4, 0);
+        for _ in 0..16 {
+            assert_eq!(original.next_u64(), attempt0.next_u64());
+        }
+    }
+
+    #[test]
+    fn retry_attempts_are_distinct_and_reproducible() {
+        let s = WalkSeeds::new(2012);
+        // Reproducible: same (walk, attempt) → same stream.
+        assert_eq!(s.seed_of_attempt(1, 2), s.seed_of_attempt(1, 2));
+        let (mut a, mut b) = (s.rng_of_attempt(1, 2), s.rng_of_attempt(1, 2));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Distinct across attempts, walks, and from every sibling's
+        // attempt-0 stream.
+        let mut seeds: Vec<u64> = Vec::new();
+        for walk in 0..4 {
+            for attempt in 0..4 {
+                seeds.push(s.seed_of_attempt(walk, attempt));
+            }
+        }
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! | `Restarted`    | once per engine restart (1-based index)           |
 //! | `ImprovedCost` | once per strict improvement of the walk's best    |
 //! | `Finished`     | once per walk, after its outcome is known         |
+//! | `Faulted`      | once per detected fault (panic or stall)          |
+//! | `Retried`      | once per supervised retry of a faulted walk       |
 //!
 //! Telemetry is passive: a run with any sink attached is bit-identical (same
 //! winner, same iteration counts, same RNG streams) to the same run without.
@@ -33,6 +35,8 @@ use std::sync::Mutex;
 use cbls_core::SearchPhase;
 use cbls_perfmodel::DistributionAccumulator;
 use serde::{Deserialize, Serialize};
+
+use crate::supervision::{FaultKind, Supervision};
 
 /// One telemetry event of a multi-walk batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,6 +76,25 @@ pub enum WalkEvent {
         /// The walk's final best cost.
         cost: i64,
     },
+    /// A fault was detected on a walk (the payload-free classification; the
+    /// full [`WalkFault`](crate::WalkFault) lives on the walk's record).
+    Faulted {
+        /// Walk index within the batch.
+        walk_id: usize,
+        /// Fault classification.
+        kind: FaultKind,
+        /// Which attempt faulted (0 = the original run).
+        attempt: u32,
+    },
+    /// A supervisor rescheduled a faulted walk.
+    Retried {
+        /// Walk index within the batch.
+        walk_id: usize,
+        /// The retry's attempt index (≥ 1).
+        attempt: u32,
+        /// The deterministically rederived seed of the retry stream.
+        seed: u64,
+    },
 }
 
 impl WalkEvent {
@@ -82,7 +105,9 @@ impl WalkEvent {
             WalkEvent::Started { walk_id, .. }
             | WalkEvent::Restarted { walk_id, .. }
             | WalkEvent::ImprovedCost { walk_id, .. }
-            | WalkEvent::Finished { walk_id, .. } => *walk_id,
+            | WalkEvent::Finished { walk_id, .. }
+            | WalkEvent::Faulted { walk_id, .. }
+            | WalkEvent::Retried { walk_id, .. } => *walk_id,
         }
     }
 }
@@ -282,11 +307,14 @@ impl EventSink for CountingSink {
 
 /// The engine-side observer of one walk: forwards
 /// [`SearchObserver`](cbls_core::SearchObserver) hooks to the batch's sink as
-/// [`WalkEvent`]s.  With no sink attached every hook is a skipped branch, so
-/// unobserved batches pay nothing on the engine's cold edges.
+/// [`WalkEvent`]s, and — when the batch is supervised — publishes anytime
+/// incumbents and liveness heartbeats into the batch's [`Supervision`]
+/// table.  With no sink and no supervision attached every hook is a skipped
+/// branch, so unobserved batches pay nothing on the engine's cold edges.
 pub(crate) struct WalkObserver<'a> {
     pub(crate) walk_id: usize,
     pub(crate) sink: Option<&'a dyn EventSink>,
+    pub(crate) supervision: Option<&'a Supervision>,
 }
 
 impl cbls_core::SearchObserver for WalkObserver<'_> {
@@ -306,6 +334,18 @@ impl cbls_core::SearchObserver for WalkObserver<'_> {
                 iteration,
                 cost,
             });
+        }
+    }
+
+    fn on_new_best(&mut self, _iteration: u64, cost: i64, assignment: &[usize]) {
+        if let Some(supervision) = self.supervision {
+            supervision.best().publish(self.walk_id, cost, assignment);
+        }
+    }
+
+    fn on_heartbeat(&mut self, _iterations: u64) {
+        if let Some(supervision) = self.supervision {
+            supervision.beat(self.walk_id);
         }
     }
 
@@ -427,6 +467,7 @@ mod tests {
         let mut obs = WalkObserver {
             walk_id: 3,
             sink: Some(&log),
+            supervision: None,
         };
         obs.on_restart(1);
         obs.on_improvement(17, 4);
@@ -450,6 +491,7 @@ mod tests {
         let mut silent = WalkObserver {
             walk_id: 0,
             sink: None,
+            supervision: None,
         };
         silent.on_restart(1);
         silent.on_improvement(0, 0);
@@ -483,6 +525,7 @@ mod tests {
         let mut obs = WalkObserver {
             walk_id: 5,
             sink: Some(&log),
+            supervision: None,
         };
         assert!(obs.observes_phases());
         obs.on_phase(SearchPhase::SwapExecution, 250);
@@ -496,6 +539,7 @@ mod tests {
         let obs = WalkObserver {
             walk_id: 0,
             sink: Some(&plain),
+            supervision: None,
         };
         assert!(!obs.observes_phases());
     }
@@ -522,9 +566,39 @@ mod tests {
                 iterations: 40,
                 cost: 1,
             },
+            WalkEvent::Faulted {
+                walk_id: 2,
+                kind: FaultKind::Panicked,
+                attempt: 0,
+            },
+            WalkEvent::Retried {
+                walk_id: 2,
+                attempt: 1,
+                seed: 99,
+            },
         ];
         let json = serde_json::to_string(&events).unwrap();
         let back: Vec<WalkEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(events, back);
+    }
+
+    #[test]
+    fn walk_observer_publishes_into_the_supervision_table() {
+        use cbls_core::SearchObserver;
+        let supervision = Supervision::new(2);
+        let mut obs = WalkObserver {
+            walk_id: 1,
+            sink: None,
+            supervision: Some(&supervision),
+        };
+        obs.on_heartbeat(5);
+        obs.on_heartbeat(10);
+        obs.on_new_best(3, 7, &[1, 0, 2]);
+        obs.on_new_best(9, 2, &[2, 0, 1]);
+        assert_eq!(supervision.heartbeat_of(1), 2);
+        assert_eq!(supervision.heartbeat_of(0), 0);
+        let inc = supervision.incumbent().unwrap();
+        assert_eq!((inc.walk_id, inc.cost), (1, 2));
+        assert_eq!(inc.assignment, vec![2, 0, 1]);
     }
 }

@@ -284,6 +284,7 @@ mod tests {
                 },
                 elapsed: Duration::ZERO,
             },
+            fault: None,
         }
     }
 

@@ -14,10 +14,10 @@
 
 use std::time::Duration;
 
-use cbls_core::{EvaluatorFactory, SearchOutcome};
+use cbls_core::{EvaluatorFactory, Incumbent, SearchOutcome};
 use cbls_parallel::{
-    select_winner, EventSink, RayonExecutor, ThreadsExecutor, WalkBatch, WalkExecutor, WalkJob,
-    WalkOutcome,
+    select_winner, DegradationReason, EventSink, RayonExecutor, ThreadsExecutor, WalkBatch,
+    WalkExecutor, WalkFault, WalkJob, WalkOutcome,
 };
 use cbls_perfmodel::DistributionAccumulator;
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,8 @@ pub struct PortfolioWalkReport {
     pub seed: u64,
     /// The walk's search outcome.
     pub outcome: SearchOutcome,
+    /// The walk's structured fault, if it panicked or stalled.
+    pub fault: Option<WalkFault>,
 }
 
 /// The aggregate result of a portfolio run.
@@ -45,6 +47,10 @@ pub struct PortfolioResult {
     pub winner: Option<usize>,
     /// Per-walk reports, ordered by walk index.
     pub reports: Vec<PortfolioWalkReport>,
+    /// The best assignment the run holds, winner or not (anytime result).
+    pub incumbent: Option<Incumbent>,
+    /// Why the run returned a partial result, when it did.
+    pub degradation: Option<DegradationReason>,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
 }
@@ -115,6 +121,7 @@ impl PortfolioResult {
                         label: report.member_label.clone(),
                         walks: 0,
                         solved: 0,
+                        faulted: 0,
                         won: false,
                         iterations: 0,
                         restarts: 0,
@@ -125,6 +132,7 @@ impl PortfolioResult {
             };
             entry.walks += 1;
             entry.solved += usize::from(report.outcome.solved());
+            entry.faulted += usize::from(report.fault.is_some());
             entry.won |= self.winner == Some(report.walk_id);
             entry.iterations += report.outcome.stats.iterations;
             entry.restarts += report.outcome.stats.restarts;
@@ -144,6 +152,8 @@ pub struct MemberStats {
     pub walks: usize,
     /// How many of them solved the problem.
     pub solved: usize,
+    /// How many of them faulted (panicked or stalled).
+    pub faulted: usize,
     /// Whether the run's winning walk belonged to this member.
     pub won: bool,
     /// Total iterations across the member's walks.
@@ -213,11 +223,14 @@ where
             member_label: r.label,
             seed: r.seed,
             outcome: r.outcome,
+            fault: r.fault,
         })
         .collect();
     PortfolioResult {
         winner: select_winner(&reports),
         reports,
+        incumbent: execution.incumbent,
+        degradation: execution.degradation,
         wall_time: execution.wall_time,
     }
 }

@@ -79,6 +79,7 @@ impl SimulatedPortfolio {
                 member_label: r.label,
                 seed: r.seed,
                 outcome: r.outcome,
+                fault: r.fault,
             })
             .collect();
         Self {

@@ -1,0 +1,550 @@
+//! The supervisor: watchdog-guarded batch execution with deterministic
+//! retries.
+//!
+//! [`Supervisor::run`] executes a batch through any back-end's
+//! `execute_supervised` path, with three layers of protection on top of the
+//! executor's built-in panic isolation:
+//!
+//! 1. a **watchdog thread** polls every started walk's heartbeat counter and
+//!    kills (via the walk's personal kill flag) any walk whose heartbeat
+//!    stops advancing for more than the configured grace period — these
+//!    walks come back as [`WalkFault::Stalled`] records;
+//! 2. a **retry loop** reschedules faulted walks as single-walk batches
+//!    pinned to the deterministically rederived stream of `(walk, attempt)`
+//!    ([`WalkSeeds::seed_of_attempt`]), under the [`RetryPolicy`]'s attempt
+//!    bound and backoff, with the original batch deadline carried over;
+//! 3. **anytime degradation**: after merging retries, the winner, incumbent
+//!    and degradation reason are recomputed over the final records, so a
+//!    partially-faulted or deadline-expired batch still reports its best
+//!    incumbent and a structured account of what went wrong.
+//!
+//! Retry events ([`WalkEvent::Retried`]) and post-hoc fault classifications
+//! ([`WalkEvent::Faulted`]) are emitted to the run's sink under the walk's
+//! *original* id; retry passes themselves run without a sink so the
+//! lifecycle stream stays one `Started`/`Finished` pair per walk.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use cbls_core::{monotonic_now, EvaluatorFactory, Incumbent, TerminationReason};
+use cbls_parallel::{
+    select_winner_by, BatchExecution, DegradationReason, EventSink, FaultKind, Supervision,
+    WalkBatch, WalkEvent, WalkExecutor, WalkFault,
+};
+
+use crate::retry::RetryPolicy;
+
+/// Stall-watchdog cadence: how often heartbeats are polled and how many
+/// consecutive no-progress polls a started walk survives before it is
+/// killed.
+///
+/// The grace window (`poll_interval * (grace_polls + 1)`) must comfortably
+/// exceed the engine's worst-case time between stop-polls
+/// (`stop_check_interval` iterations), or healthy slow walks get killed;
+/// the default window of ~200 ms is orders of magnitude above the
+/// microseconds a typical interval takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How often the watchdog samples heartbeats.
+    pub poll_interval: Duration,
+    /// Consecutive unchanged polls tolerated before a walk is killed.
+    pub grace_polls: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            poll_interval: Duration::from_millis(25),
+            grace_polls: 7,
+        }
+    }
+}
+
+/// The retry history of one faulted walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// The walk that faulted on its original run.
+    pub walk_id: usize,
+    /// The final attempt index reached (1-based; the original run is 0).
+    pub attempts: u32,
+    /// Whether the final attempt ran fault-free.
+    pub recovered: bool,
+}
+
+/// A supervised batch run: the merged execution plus the retry history.
+#[derive(Debug, Clone)]
+pub struct SupervisedExecution {
+    /// The batch's execution with retried walks' final records merged in,
+    /// and winner / incumbent / degradation recomputed over them.
+    pub execution: BatchExecution,
+    /// Per-walk retry history (empty when no walk faulted).
+    pub retries: Vec<RetryOutcome>,
+}
+
+impl SupervisedExecution {
+    /// Whether any walk solved the problem.
+    #[must_use]
+    pub fn solved(&self) -> bool {
+        self.execution.winner.is_some()
+    }
+
+    /// The best assignment the run holds, winner or not.
+    #[must_use]
+    pub fn incumbent(&self) -> Option<&Incumbent> {
+        self.execution.incumbent.as_ref()
+    }
+
+    /// Whether the run degraded to a partial (anytime) result.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        self.execution.is_partial()
+    }
+}
+
+/// Fault-isolated supervised execution over any back-end; see the module
+/// docs.
+#[derive(Debug, Clone)]
+pub struct Supervisor<X> {
+    executor: X,
+    policy: RetryPolicy,
+    watchdog: Option<WatchdogConfig>,
+}
+
+impl<X: WalkExecutor> Supervisor<X> {
+    /// Supervise `executor` with the default retry policy and watchdog.
+    pub fn new(executor: X) -> Self {
+        Self {
+            executor,
+            policy: RetryPolicy::default(),
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+
+    /// Replace the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the watchdog cadence.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Disable the stall watchdog (panics are still isolated and retried).
+    #[must_use]
+    pub fn without_watchdog(mut self) -> Self {
+        self.watchdog = None;
+        self
+    }
+
+    /// The supervised back-end.
+    pub fn executor(&self) -> &X {
+        &self.executor
+    }
+
+    /// Run `batch` under supervision without telemetry.
+    pub fn run<F>(&self, factory: &F, batch: &WalkBatch) -> SupervisedExecution
+    where
+        F: EvaluatorFactory,
+    {
+        self.run_inner(factory, batch, None)
+    }
+
+    /// Run `batch` under supervision, emitting walk, fault and retry events
+    /// to `sink`.
+    pub fn run_with_telemetry<F>(
+        &self,
+        factory: &F,
+        batch: &WalkBatch,
+        sink: &dyn EventSink,
+    ) -> SupervisedExecution
+    where
+        F: EvaluatorFactory,
+    {
+        self.run_inner(factory, batch, Some(sink))
+    }
+
+    fn run_inner<F>(
+        &self,
+        factory: &F,
+        batch: &WalkBatch,
+        sink: Option<&dyn EventSink>,
+    ) -> SupervisedExecution
+    where
+        F: EvaluatorFactory,
+    {
+        let started = monotonic_now();
+        let deadline = batch.timeout().map(|t| started + t);
+        let mut execution = self.guarded_pass(factory, batch, sink);
+
+        let faulted: Vec<usize> = execution
+            .records
+            .iter()
+            .filter(|r| r.fault.is_some())
+            .map(|r| r.walk_id)
+            .collect();
+        let mut retries = Vec::new();
+        for walk_id in faulted {
+            let outcome = self.retry_walk(factory, batch, walk_id, deadline, sink, &mut execution);
+            retries.push(outcome);
+        }
+
+        recompute(&mut execution, batch);
+        execution.wall_time = started.elapsed();
+        SupervisedExecution { execution, retries }
+    }
+
+    /// Rerun faulted walk `walk_id` on its rederived retry streams until it
+    /// recovers, the policy's attempt bound is hit, or the batch deadline
+    /// passes.  The walk's record in `execution` is replaced by the final
+    /// attempt's record.
+    fn retry_walk<F>(
+        &self,
+        factory: &F,
+        batch: &WalkBatch,
+        walk_id: usize,
+        deadline: Option<std::time::Instant>,
+        sink: Option<&dyn EventSink>,
+        execution: &mut BatchExecution,
+    ) -> RetryOutcome
+    where
+        F: EvaluatorFactory,
+    {
+        let seeds = batch.seeds();
+        let mut attempt = execution.records[walk_id].attempt;
+        while attempt + 1 < self.policy.max_attempts {
+            let remaining = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(monotonic_now());
+                    if left.is_zero() {
+                        break; // deadline exhausted: give up on this walk
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
+            attempt += 1;
+            let seed = seeds.seed_of_attempt(walk_id, attempt);
+            if let Some(sink) = sink {
+                sink.record(&WalkEvent::Retried {
+                    walk_id,
+                    attempt,
+                    seed,
+                });
+            }
+            let backoff = self.policy.backoff_for(seeds, walk_id, attempt);
+            if !backoff.is_zero() {
+                thread::sleep(match remaining {
+                    Some(left) => backoff.min(left),
+                    None => backoff,
+                });
+            }
+
+            let job = batch.jobs()[walk_id].clone().with_stream(walk_id, attempt);
+            let mut retry_batch =
+                WalkBatch::new(seeds, vec![job]).with_winner_rule(batch.winner_rule());
+            if let Some(left) = deadline.map(|d| d.saturating_duration_since(monotonic_now())) {
+                if left.is_zero() {
+                    break;
+                }
+                retry_batch = retry_batch.with_timeout(left);
+            }
+            // Retry passes run without the outer sink: the walk's lifecycle
+            // pair was already recorded, and the supervisor re-emits any
+            // fresh fault below under the original walk id.
+            let retry = self.guarded_pass(factory, &retry_batch, None);
+            let mut record = retry.records.into_iter().next().expect("one-walk batch");
+            record.walk_id = walk_id;
+            if let (Some(sink), Some(fault)) = (sink, record.fault.as_ref()) {
+                sink.record(&WalkEvent::Faulted {
+                    walk_id,
+                    kind: fault.kind(),
+                    attempt,
+                });
+            }
+            let recovered = record.fault.is_none();
+            execution.records[walk_id] = record;
+            if recovered {
+                return RetryOutcome {
+                    walk_id,
+                    attempts: attempt,
+                    recovered: true,
+                };
+            }
+        }
+        RetryOutcome {
+            walk_id,
+            attempts: attempt,
+            recovered: execution.records[walk_id].fault.is_none(),
+        }
+    }
+
+    /// One supervised executor pass under the watchdog (if configured),
+    /// with killed-and-unsolved walks classified as stalled.
+    fn guarded_pass<F>(
+        &self,
+        factory: &F,
+        batch: &WalkBatch,
+        sink: Option<&dyn EventSink>,
+    ) -> BatchExecution
+    where
+        F: EvaluatorFactory,
+    {
+        let supervision = Supervision::new(batch.walks());
+        let mut execution = match self.watchdog {
+            Some(watchdog) => {
+                let finished = AtomicBool::new(false);
+                thread::scope(|scope| {
+                    let guard = scope.spawn(|| watch(&supervision, watchdog, &finished));
+                    let execution =
+                        self.executor
+                            .execute_supervised(factory, batch, sink, &supervision);
+                    // Release: pairs with the Acquire poll in `watch`, which
+                    // must observe the store and exit.
+                    finished.store(true, Ordering::Release);
+                    match guard.join() {
+                        Ok(()) => {}
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                    execution
+                })
+            }
+            None => self
+                .executor
+                .execute_supervised(factory, batch, sink, &supervision),
+        };
+        classify_stalls(&mut execution, &supervision, sink);
+        execution
+    }
+}
+
+/// The watchdog loop: kill any started, not-done walk whose heartbeat stays
+/// flat for more than `config.grace_polls` consecutive polls.
+fn watch(supervision: &Supervision, config: WatchdogConfig, finished: &AtomicBool) {
+    let walks = supervision.walks();
+    let mut last = vec![0u64; walks];
+    let mut stale = vec![0u32; walks];
+    // Acquire: pairs with the Release store in `guarded_pass` once the
+    // executor has returned.
+    while !finished.load(Ordering::Acquire) {
+        thread::sleep(config.poll_interval);
+        for walk in 0..walks {
+            if !supervision.is_started(walk)
+                || supervision.is_done(walk)
+                || supervision.killed(walk)
+            {
+                stale[walk] = 0;
+                continue;
+            }
+            let beats = supervision.heartbeat_of(walk);
+            if beats != last[walk] {
+                last[walk] = beats;
+                stale[walk] = 0;
+            } else {
+                stale[walk] += 1;
+                if stale[walk] > config.grace_polls {
+                    supervision.kill(walk);
+                }
+            }
+        }
+    }
+}
+
+/// Attach [`WalkFault::Stalled`] to every record whose walk the watchdog
+/// killed and that did not solve anyway, emitting the classification to
+/// `sink`.
+fn classify_stalls(
+    execution: &mut BatchExecution,
+    supervision: &Supervision,
+    sink: Option<&dyn EventSink>,
+) {
+    for record in &mut execution.records {
+        if supervision.killed(record.walk_id) && record.fault.is_none() && !record.outcome.solved()
+        {
+            let heartbeats = supervision.heartbeat_of(record.walk_id);
+            record.outcome.reason = TerminationReason::Faulted;
+            record.fault = Some(WalkFault::Stalled { heartbeats });
+            if let Some(sink) = sink {
+                sink.record(&WalkEvent::Faulted {
+                    walk_id: record.walk_id,
+                    kind: FaultKind::Stalled,
+                    attempt: record.attempt,
+                });
+            }
+        }
+    }
+}
+
+/// Recompute winner, incumbent and degradation over the (possibly merged)
+/// final records, mirroring the executor's own resolution.
+fn recompute(execution: &mut BatchExecution, batch: &WalkBatch) {
+    execution.winner = select_winner_by(&execution.records, batch.winner_rule());
+    execution.incumbent = execution
+        .records
+        .iter()
+        .filter(|r| !r.outcome.solution.is_empty())
+        .min_by_key(|r| (r.outcome.best_cost, r.walk_id))
+        .map(|r| Incumbent {
+            walk_id: r.walk_id,
+            cost: r.outcome.best_cost,
+            assignment: r.outcome.solution.clone(),
+        });
+    let faulted = execution.records.iter().any(|r| r.fault.is_some());
+    let deadline_expired = execution.winner.is_none()
+        && execution
+            .records
+            .iter()
+            .any(|r| r.outcome.reason == TerminationReason::TimedOut);
+    execution.degradation = match (deadline_expired, faulted) {
+        (true, true) => Some(DegradationReason::DeadlineExpiredWithFaults),
+        (true, false) => Some(DegradationReason::DeadlineExpired),
+        (false, true) => Some(DegradationReason::WalkFaults),
+        (false, false) => None,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosFactory, FaultPlan};
+    use cbls_core::{Evaluator, SearchConfig};
+    use cbls_parallel::{SequentialExecutor, ThreadsExecutor, WalkSeeds};
+
+    #[derive(Clone)]
+    struct Sort(usize);
+    impl Evaluator for Sort {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn init(&mut self, perm: &[usize]) -> i64 {
+            self.cost(perm)
+        }
+        fn cost(&self, perm: &[usize]) -> i64 {
+            perm.iter().enumerate().filter(|&(i, &v)| i != v).count() as i64
+        }
+        fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+            i64::from(perm[i] != i)
+        }
+        fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+            let mut delta = 0;
+            delta -= i64::from(perm[i] != i) + i64::from(perm[j] != j);
+            delta += i64::from(perm[j] != i) + i64::from(perm[i] != j);
+            current_cost + delta
+        }
+    }
+
+    fn quick_search() -> SearchConfig {
+        SearchConfig::builder()
+            .max_iterations_per_restart(10_000)
+            .max_restarts(3)
+            .stop_check_interval(1)
+            .build()
+    }
+
+    fn batch(walks: usize) -> WalkBatch {
+        WalkBatch::uniform(2012, &quick_search(), walks).run_to_completion()
+    }
+
+    #[test]
+    fn fault_free_batches_run_clean() {
+        let supervisor = Supervisor::new(SequentialExecutor);
+        let run = supervisor.run(&|| Sort(16), &batch(3));
+        assert!(run.solved());
+        assert!(!run.is_partial());
+        assert!(run.retries.is_empty());
+        assert_eq!(run.incumbent().map(|i| i.cost), Some(0));
+    }
+
+    #[test]
+    fn a_panicking_walk_is_retried_and_recovers() {
+        let factory = ChaosFactory::new(|| Sort(16), FaultPlan::new().panic_once(1, 3));
+        let supervisor = Supervisor::new(SequentialExecutor).with_policy(RetryPolicy::retries(2));
+        let run = supervisor.run(&factory, &batch(3));
+        assert!(run.solved());
+        assert!(!run.is_partial());
+        assert_eq!(run.retries.len(), 1);
+        assert_eq!(run.retries[0].walk_id, 1);
+        assert_eq!(run.retries[0].attempts, 1);
+        assert!(run.retries[0].recovered);
+        let record = &run.execution.records[1];
+        assert!(record.fault.is_none());
+        assert_eq!(record.attempt, 1);
+        assert_eq!(record.seed, WalkSeeds::new(2012).seed_of_attempt(1, 1));
+    }
+
+    #[test]
+    fn retry_exhaustion_leaves_the_fault_in_place() {
+        let factory = ChaosFactory::new(|| Sort(16), FaultPlan::new().panic_always(0, 2));
+        let supervisor = Supervisor::new(SequentialExecutor).with_policy(RetryPolicy::retries(2));
+        let run = supervisor.run(&factory, &batch(2));
+        assert_eq!(run.retries.len(), 1);
+        assert_eq!(run.retries[0].attempts, 2);
+        assert!(!run.retries[0].recovered);
+        assert!(run.is_partial());
+        assert!(matches!(
+            run.execution.records[0].fault,
+            Some(WalkFault::Panicked { .. })
+        ));
+        // the healthy sibling still decides the batch
+        assert!(run.solved());
+        assert_eq!(run.execution.winner, Some(1));
+        assert_eq!(
+            run.execution.degradation,
+            Some(DegradationReason::WalkFaults)
+        );
+    }
+
+    #[test]
+    fn retries_reproduce_bit_identically_across_backends() {
+        use cbls_parallel::WinnerRule;
+        let plan = || FaultPlan::new().panic_once(1, 5);
+        let policy = RetryPolicy::retries(1);
+        // iteration-first winner resolution: reproducible across back-ends
+        let batch = batch(3).with_winner_rule(WinnerRule::IterationsFirst);
+        let seq = Supervisor::new(SequentialExecutor)
+            .with_policy(policy)
+            .run(&ChaosFactory::new(|| Sort(16), plan()), &batch);
+        let thr = Supervisor::new(ThreadsExecutor)
+            .with_policy(policy)
+            .run(&ChaosFactory::new(|| Sort(16), plan()), &batch);
+        for (a, b) in seq
+            .execution
+            .records
+            .iter()
+            .zip(thr.execution.records.iter())
+        {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.attempt, b.attempt);
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.outcome.stats.iterations, b.outcome.stats.iterations);
+            assert_eq!(a.outcome.solution, b.outcome.solution);
+        }
+        assert_eq!(seq.execution.winner, thr.execution.winner);
+    }
+
+    #[test]
+    fn watchdog_kills_a_stalled_walk() {
+        let factory = ChaosFactory::new(
+            || Sort(16),
+            FaultPlan::new().stall_once(0, 4, Duration::from_millis(400)),
+        );
+        let supervisor = Supervisor::new(ThreadsExecutor)
+            .with_policy(RetryPolicy::retries(1))
+            .with_watchdog(WatchdogConfig {
+                poll_interval: Duration::from_millis(5),
+                grace_polls: 3,
+            });
+        let run = supervisor.run(&factory, &batch(2));
+        // the stall was caught, the retry ran clean
+        assert_eq!(run.retries.len(), 1);
+        assert_eq!(run.retries[0].walk_id, 0);
+        assert!(run.retries[0].recovered);
+        assert!(run.solved());
+        assert!(!run.is_partial());
+    }
+}

@@ -34,6 +34,8 @@
 //! * [`parallel`] (`cbls-parallel`) — multi-walk runners and speedup helpers;
 //! * [`portfolio`] (`cbls-portfolio`) — restart schedules, heterogeneous
 //!   strategy portfolios and the adaptive walk scheduler;
+//! * [`resilience`] (`cbls-resilience`) — supervised execution: stall
+//!   watchdog, deterministic retries and the chaos fault-injection harness;
 //! * [`propagation`] (`cbls-propagation`) — the backtracking baseline;
 //! * [`perfmodel`] (`cbls-perfmodel`) — runtime distributions and platform
 //!   models;
@@ -51,13 +53,14 @@ pub use cbls_perfmodel as perfmodel;
 pub use cbls_portfolio as portfolio;
 pub use cbls_problems as problems;
 pub use cbls_propagation as propagation;
+pub use cbls_resilience as resilience;
 
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use as_rng::{default_rng, DefaultRng, RandomSource, SeedSequence};
     pub use cbls_core::{
-        AdaptiveSearch, Evaluator, EvaluatorFactory, IncrementalProfile, SearchConfig,
-        SearchOutcome, SearchStats, StopControl, Summary, TerminationReason,
+        AdaptiveSearch, BestSoFar, Evaluator, EvaluatorFactory, IncrementalProfile, Incumbent,
+        SearchConfig, SearchOutcome, SearchStats, StopControl, Summary, TerminationReason,
     };
     pub use cbls_model::{Model, ModelEvaluator, Term};
     pub use cbls_obs::{
@@ -65,10 +68,10 @@ pub mod prelude {
     };
     pub use cbls_parallel::{
         dependent::{run_dependent, run_dependent_on, DependentWalkConfig},
-        run_multiwalk, run_rayon, run_threads, select_winner, DistributionSink, EventLog,
-        EventSink, MultiWalkConfig, MultiWalkResult, RayonExecutor, SequentialExecutor,
-        SimulatedMultiWalk, ThreadsExecutor, WalkBatch, WalkEvent, WalkExecutor, WalkJob,
-        WalkOutcome, WalkSeeds,
+        run_multiwalk, run_rayon, run_threads, select_winner, select_winner_by, DegradationReason,
+        DistributionSink, EventLog, EventSink, FaultKind, MultiWalkConfig, MultiWalkResult,
+        RayonExecutor, SequentialExecutor, SimulatedMultiWalk, Supervision, ThreadsExecutor,
+        WalkBatch, WalkEvent, WalkExecutor, WalkFault, WalkJob, WalkOutcome, WalkSeeds, WinnerRule,
     };
     pub use cbls_perfmodel::{
         DistributionAccumulator, EmpiricalDistribution, Platform, SpeedupModel,
@@ -84,5 +87,9 @@ pub mod prelude {
     pub use cbls_propagation::{
         AllIntervalConstraint, BacktrackingSolver, CostasConstraint, LangfordConstraint,
         QueensConstraint,
+    };
+    pub use cbls_resilience::{
+        ChaosFactory, FaultPlan, FaultSpec, FaultWindow, RetryOutcome, RetryPolicy,
+        SupervisedExecution, Supervisor, WatchdogConfig,
     };
 }

@@ -81,6 +81,64 @@ fn backends_agree_on_costas_9() {
     assert_backends_agree(&Benchmark::CostasArray(9), 7, 4, 16);
 }
 
+/// The winner-rule option: under run-to-completion semantics several walks
+/// solve, so the historical `WallClockFirst` rule resolves the winner by a
+/// wall-clock measurement that can differ back-end to back-end.  Pinning
+/// `WinnerRule::IterationsFirst` on the batch makes the winner a pure
+/// function of `(master_seed, walks)` — the same walk on every executor,
+/// equal to the iteration-minimum over the solved records.
+#[test]
+fn iterations_first_winner_rule_is_deterministic_across_backends() {
+    let bench = Benchmark::CostasArray(9);
+    let factory = || bench.build();
+    let jobs: Vec<WalkJob> = (0..4).map(|_| WalkJob::new(bench.tuned_config())).collect();
+    let batch = WalkBatch::new(WalkSeeds::new(7), jobs)
+        .run_to_completion()
+        .with_winner_rule(WinnerRule::IterationsFirst);
+    // the rule is opt-in: a fresh batch keeps the historical default
+    assert_eq!(
+        WalkBatch::new(WalkSeeds::new(7), vec![WalkJob::new(bench.tuned_config())]).winner_rule(),
+        WinnerRule::WallClockFirst
+    );
+
+    let runs = [
+        ("sequential", SequentialExecutor.execute(&factory, &batch)),
+        ("threads", ThreadsExecutor.execute(&factory, &batch)),
+        ("rayon", RayonExecutor.execute(&factory, &batch)),
+    ];
+    let expect = &runs[0].1;
+    let solved = expect.records.iter().filter(|r| r.outcome.solved()).count();
+    assert!(
+        solved >= 2,
+        "the scenario needs winner contention, got {solved} solved walks"
+    );
+    let by_iterations = expect
+        .records
+        .iter()
+        .filter(|r| r.outcome.solved())
+        .min_by_key(|r| (r.outcome.stats.iterations, r.walk_id))
+        .map(|r| r.walk_id);
+    for (label, run) in &runs {
+        assert_eq!(
+            run.winner, by_iterations,
+            "{label}: IterationsFirst must pick the iteration-minimum walk"
+        );
+        assert_eq!(
+            select_winner_by(&run.records, WinnerRule::IterationsFirst),
+            run.winner,
+            "{label}: the batch winner matches the standalone selector"
+        );
+        for (a, b) in expect.records.iter().zip(run.records.iter()) {
+            assert_eq!(
+                a.outcome.stats, b.outcome.stats,
+                "{label}: walk {}",
+                a.walk_id
+            );
+            assert_eq!(a.outcome.solution, b.outcome.solution, "{label}");
+        }
+    }
+}
+
 /// Three strategy variants of a benchmark's tuned configuration, each under
 /// a one-slice fixed schedule of `budget` iterations — a genuinely
 /// heterogeneous portfolio (greedy first-improvement and a halved plateau

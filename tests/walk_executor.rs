@@ -17,12 +17,12 @@ fn endless_search() -> SearchConfig {
         .build()
 }
 
-/// Regression for the timeout unification: a timed-out multi-walk run
-/// reports `winner: None` — and `TimedOut` on every walk — on every
-/// back-end, because the timeout is one monotonic deadline inside
-/// `StopControl`, not per-runner `Instant` arithmetic.
+/// Anytime semantics at the deadline: a timed-out multi-walk run has no
+/// winner, but it is a *partial result*, not a dead loss — every back-end
+/// reports `TimedOut` on every walk, a `DeadlineExpired` degradation, and
+/// the best incumbent any walk reached before the deadline.
 #[test]
-fn timed_out_multiwalk_reports_no_winner_on_every_backend() {
+fn timed_out_multiwalk_returns_partial_results_on_every_backend() {
     let config = MultiWalkConfig::new(3)
         .with_master_seed(2012)
         .with_search(endless_search())
@@ -47,7 +47,31 @@ fn timed_out_multiwalk_reports_no_winner_on_every_backend() {
                 TerminationReason::TimedOut,
                 "{label}: every walk self-cancels at the shared deadline"
             );
+            assert!(report.fault.is_none(), "{label}: a timeout is not a fault");
         }
+        // the degraded batch still carries its best-so-far assignment
+        assert_eq!(
+            result.degradation,
+            Some(DegradationReason::DeadlineExpired),
+            "{label}: deadline expiry is reported as a structured degradation"
+        );
+        let incumbent = result
+            .incumbent
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: partial result carries an incumbent"));
+        let best_walk = &result.reports[incumbent.walk_id];
+        assert_eq!(incumbent.cost, best_walk.outcome.best_cost);
+        assert_eq!(incumbent.assignment, best_walk.outcome.solution);
+        assert_eq!(
+            incumbent.cost,
+            result
+                .reports
+                .iter()
+                .map(|r| r.outcome.best_cost)
+                .min()
+                .unwrap(),
+            "{label}: the incumbent is the best cost across all walks"
+        );
     }
     assert!(
         started.elapsed() < Duration::from_secs(30),
@@ -58,7 +82,7 @@ fn timed_out_multiwalk_reports_no_winner_on_every_backend() {
 /// The same regression for heterogeneous portfolios, which used to derive
 /// their stop control separately from the flat runners.
 #[test]
-fn timed_out_portfolio_reports_no_winner_on_every_backend() {
+fn timed_out_portfolio_returns_partial_results_on_every_backend() {
     let member = PortfolioMember::new(
         "endless",
         endless_search(),
@@ -82,6 +106,19 @@ fn timed_out_portfolio_reports_no_winner_on_every_backend() {
             .reports
             .iter()
             .all(|r| r.outcome.reason == TerminationReason::TimedOut));
+        assert_eq!(
+            result.degradation,
+            Some(DegradationReason::DeadlineExpired),
+            "{label}: portfolio deadline expiry degrades, it does not vanish"
+        );
+        let incumbent = result
+            .incumbent
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: partial result carries an incumbent"));
+        assert!(incumbent.cost < i64::MAX);
+        assert!(!incumbent.assignment.is_empty());
+        // member fault accounting stays clean on a fault-free timeout
+        assert!(result.member_stats().iter().all(|m| m.faulted == 0));
     }
 }
 
@@ -97,6 +134,11 @@ fn deadline_is_shared_by_late_starting_walks() {
     // the first walk consumed the whole budget; later walks must stop at
     // their first poll instead of burning 25ms each
     assert_eq!(result.winner, None);
+    assert_eq!(result.degradation, Some(DegradationReason::DeadlineExpired));
+    assert!(
+        result.incumbent.is_some(),
+        "even an expired batch surfaces its best-so-far assignment"
+    );
     let later_iterations: u64 = result.reports[1..]
         .iter()
         .map(|r| r.outcome.stats.iterations)
