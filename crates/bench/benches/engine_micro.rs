@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use as_rng::{default_rng, RandomSource};
 use cbls_core::{AdaptiveSearch, Evaluator};
-use cbls_problems::{AllInterval, CostasArray, MagicSquare, NQueens};
+use cbls_problems::{AllInterval, Benchmark, CostasArray, MagicSquare, NQueens};
 
 /// One full swap-scan's worth of `cost_if_swap` probes for the worst case of
 /// the engine's selection phase: variable 0 against every other position.
@@ -62,6 +62,51 @@ fn bench_cost_if_swap(c: &mut Criterion) {
     group.bench_function("all-interval-100", |b| {
         b.iter(|| black_box(interval.cost_if_swap(&perm, cost, 10, 90)))
     });
+    group.finish();
+}
+
+fn bench_batched_probes(c: &mut Criterion) {
+    // The batching tentpole's headline comparison: one `cost_if_swaps` row
+    // against the looped scalar probes it replaces — the exact two shapes
+    // the engine's candidate scan picks between on the `batched_probes`
+    // claim.  Two declarative models where the shared-state walk dominated
+    // (graph coloring, Golomb ruler), one mixed-constraint model (QCP) and
+    // one closed-form hand-coded kernel (queens).
+    let mut group = c.benchmark_group("batched_probes");
+    let mut rng = default_rng(3);
+
+    for bench in [
+        Benchmark::GraphColoring {
+            nodes: 60,
+            colors: 3,
+        },
+        Benchmark::GolombRuler(8),
+        Benchmark::QuasigroupCompletion(10),
+        Benchmark::NQueens(64),
+    ] {
+        let mut evaluator = bench.build();
+        let n = evaluator.size();
+        let perm = rng.permutation(n);
+        let cost = evaluator.init(&perm);
+        let js: Vec<usize> = (0..n).collect();
+        let mut out = vec![0i64; n];
+        let id = bench.id();
+        group.bench_function(format!("{id}-looped"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &j in &js {
+                    acc += evaluator.cost_if_swap(&perm, cost, 0, j);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("{id}-batched"), |b| {
+            b.iter(|| {
+                evaluator.cost_if_swaps(&perm, cost, 0, &js, &mut out);
+                black_box(out[n - 1])
+            })
+        });
+    }
     group.finish();
 }
 
@@ -188,6 +233,7 @@ fn bench_full_solve(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cost_if_swap,
+    bench_batched_probes,
     bench_error_projection,
     bench_full_solve
 );

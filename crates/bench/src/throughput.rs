@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use as_rng::default_rng;
-use cbls_core::{AdaptiveSearch, StopControl};
+use cbls_core::{AdaptiveSearch, Evaluator, IncrementalProfile, SearchConfig, StopControl};
 use cbls_obs::{FlightRecorder, RecorderConfig, TraceMeta};
 use cbls_parallel::{
     CountingSink, SequentialExecutor, Supervision, WalkBatch, WalkExecutor, WalkJob, WalkSeeds,
@@ -122,6 +122,10 @@ pub struct EngineThroughputReport {
     /// `iters_per_sec / reference` per benchmark id, where a reference
     /// exists.
     pub speedup_vs_reference: Vec<ReferenceEntry>,
+    /// Batched-vs-scalar candidate-scan ratio per suite benchmark: the same
+    /// run with the evaluator's `cost_if_swaps` kernels and behind
+    /// [`ScalarProbes`] (claim hidden, scalar fallback scan).
+    pub batch_speedup: Vec<BatchSpeedupResult>,
     /// Telemetry cost of the walk-executor layer (events on vs. off) on the
     /// paper's CAP headline instance.
     pub executor_overhead: ExecutorOverheadResult,
@@ -193,11 +197,163 @@ pub fn pre_projection_reference() -> Vec<ReferenceEntry> {
     .collect()
 }
 
+/// Iterations/sec of the engine that shipped before the batched-probe PR
+/// (scalar `cost_if_swap` candidate scans everywhere), measured with
+/// [`ThroughputConfig::full`] on the machine that recorded the repo's
+/// `BENCH_engine.json`.  The throughput binary asserts the batched engine
+/// clears [`BATCH_SPEEDUP_FLOOR`] over these numbers on the two suites the
+/// batching PR targeted, in quick mode too, so a regression that quietly
+/// re-routes the scan through the scalar fallback fails CI instead of only
+/// drifting the recorded trajectory.
+#[must_use]
+pub fn pre_batching_reference() -> Vec<ReferenceEntry> {
+    [
+        ("costas-14", 238_400.0),
+        ("magic-square-10", 535_531.0),
+        ("all-interval-50", 324_912.0),
+        ("queens-64", 612_373.0),
+        ("perfect-square-order9", 75_923.0),
+        ("magic-sequence-30", 598_825.0),
+        ("golomb-8", 94_078.0),
+        ("coloring-60x3", 44_097.0),
+        ("qcp-10", 282_828.0),
+    ]
+    .into_iter()
+    .map(|(id, iters_per_sec)| ReferenceEntry {
+        id: id.to_string(),
+        iters_per_sec,
+    })
+    .collect()
+}
+
+/// The acceptance floor the throughput binary asserts (quick and full mode)
+/// on the batching PR's two target suites, `coloring-60x3` and `golomb-8`:
+/// fresh iterations/sec divided by the [`pre_batching_reference`] entry.
+pub const BATCH_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// The suites [`BATCH_SPEEDUP_FLOOR`] is enforced on.
+pub const BATCH_SPEEDUP_GUARDED: [&str; 2] = ["coloring-60x3", "golomb-8"];
+
+/// An adapter that hides an evaluator's `batched_probes` claim, forcing the
+/// engine's candidate scan back onto the scalar row-of-`cost_if_swap`
+/// fallback.  Every other hook forwards unchanged, so a run through the
+/// wrapper isolates exactly the batched-kernel contribution: same model,
+/// same incremental state machine, same trajectory (the batched contract is
+/// bit-for-bit agreement), different probe loop.
+#[derive(Debug)]
+pub struct ScalarProbes<E>(pub E);
+
+impl<E: Evaluator> Evaluator for ScalarProbes<E> {
+    fn size(&self) -> usize {
+        self.0.size()
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn init(&mut self, perm: &[usize]) -> i64 {
+        self.0.init(perm)
+    }
+
+    fn cost(&self, perm: &[usize]) -> i64 {
+        self.0.cost(perm)
+    }
+
+    fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+        self.0.cost_on_variable(perm, i)
+    }
+
+    fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
+        self.0.cost_if_swap(perm, current_cost, i, j)
+    }
+
+    fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
+        self.0.executed_swap(perm, i, j);
+    }
+
+    fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
+        self.0.touched_by_swap(perm, i, j, out)
+    }
+
+    fn project_errors(&self, perm: &[usize], indices: &[usize], out: &mut [i64]) {
+        self.0.project_errors(perm, indices, out);
+    }
+
+    fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
+        self.0.project_errors_full(perm, out);
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            batched_probes: false,
+            ..self.0.incremental_profile()
+        }
+    }
+
+    fn tune(&self, config: &mut SearchConfig) {
+        self.0.tune(config);
+    }
+
+    fn verify(&self, perm: &[usize]) -> bool {
+        self.0.verify(perm)
+    }
+}
+
+/// Batched-vs-scalar candidate-scan throughput of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSpeedupResult {
+    /// Benchmark id (see [`Benchmark::id`]).
+    pub id: String,
+    /// Iterations per second with the evaluator's batched `cost_if_swaps`
+    /// row (the engine's normal path when `batched_probes` is claimed).
+    pub iters_per_sec_batched: f64,
+    /// Iterations per second through [`ScalarProbes`] — the same evaluator
+    /// with the claim hidden, scanning via scalar `cost_if_swap` calls.
+    pub iters_per_sec_scalar: f64,
+    /// `batched / scalar`: > 1 means the batched kernel pays for itself.
+    pub speedup: f64,
+}
+
+/// Measure the batched-vs-scalar candidate-scan ratio of one benchmark: the
+/// identical fixed-budget run twice, once on the evaluator as shipped and
+/// once through [`ScalarProbes`].  Both runs follow bit-for-bit the same
+/// trajectory (the batched-probe contract), so the ratio isolates the scan
+/// kernel's cost and nothing else.
+#[must_use]
+pub fn measure_batch_speedup(
+    benchmark: &Benchmark,
+    config: &ThroughputConfig,
+) -> BatchSpeedupResult {
+    let batched = measure_with(benchmark, config, |b| b.build());
+    let scalar = measure_with(benchmark, config, |b| Box::new(ScalarProbes(b.build())));
+    BatchSpeedupResult {
+        id: benchmark.id(),
+        iters_per_sec_batched: batched.iters_per_sec,
+        iters_per_sec_scalar: scalar.iters_per_sec,
+        speedup: if scalar.iters_per_sec > 0.0 {
+            batched.iters_per_sec / scalar.iters_per_sec
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Measure one benchmark: run exactly `config.budget` iterations
 /// (`target_cost` below zero disables early termination) and keep the best
 /// repetition.
 #[must_use]
 pub fn measure(benchmark: &Benchmark, config: &ThroughputConfig) -> ThroughputResult {
+    measure_with(benchmark, config, |b| b.build())
+}
+
+/// [`measure`] with a custom evaluator factory — the batch-speedup section
+/// routes through here to measure the same benchmark behind [`ScalarProbes`].
+fn measure_with(
+    benchmark: &Benchmark,
+    config: &ThroughputConfig,
+    build: impl Fn(&Benchmark) -> Box<dyn Evaluator>,
+) -> ThroughputResult {
     let mut tuned = benchmark.tuned_config();
     tuned.target_cost = -1;
     let per_restart = tuned.max_iterations_per_restart;
@@ -209,7 +365,7 @@ pub fn measure(benchmark: &Benchmark, config: &ThroughputConfig) -> ThroughputRe
     let mut best_elapsed = f64::INFINITY;
     let mut iterations = 0;
     for _ in 0..config.repetitions.max(1) {
-        let mut evaluator = benchmark.build();
+        let mut evaluator = build(benchmark);
         let mut rng = default_rng(THROUGHPUT_SEED);
         let mut remaining = config.budget;
         let started = Instant::now();
@@ -536,6 +692,10 @@ pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputRepo
         results,
         reference,
         speedup_vs_reference,
+        batch_speedup: throughput_suite()
+            .iter()
+            .map(|b| measure_batch_speedup(b, config))
+            .collect(),
         executor_overhead: measure_executor_overhead(&Benchmark::CostasArray(14), config),
         recorder_overhead: throughput_suite()
             .iter()
@@ -566,6 +726,24 @@ mod tests {
                 ids.contains(&e.id),
                 "reference entry {} is not in the suite",
                 e.id
+            );
+        }
+        // The pre-batching snapshot covers the *whole* suite (it was taken
+        // after the model-layer benchmarks joined), and the guarded ids are
+        // in it.
+        let batching = pre_batching_reference();
+        assert_eq!(batching.len(), suite.len());
+        for e in &batching {
+            assert!(
+                ids.contains(&e.id),
+                "pre-batching entry {} is not in the suite",
+                e.id
+            );
+        }
+        for id in BATCH_SPEEDUP_GUARDED {
+            assert!(
+                batching.iter().any(|e| e.id == id),
+                "guarded suite {id} has no pre-batching reference"
             );
         }
         // ... and the model-layer entries are really in the suite.
@@ -600,11 +778,59 @@ mod tests {
             "every reference entry yields a speedup ratio"
         );
         assert_eq!(report.executor_overhead.id, "costas-14");
+        assert_eq!(report.batch_speedup.len(), throughput_suite().len());
         assert_eq!(report.recorder_overhead.len(), throughput_suite().len());
         assert_eq!(report.supervision_overhead.len(), throughput_suite().len());
         let json = serde_json::to_string(&report).unwrap();
         let back: EngineThroughputReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn scalar_probe_adapter_changes_the_scan_not_the_trajectory() {
+        // Through the wrapper, the profile claim is gone but the search is
+        // bit-for-bit the same run (same solution, same stats) — that is the
+        // batched-probe contract the speedup ratio rests on.
+        let bench = Benchmark::GraphColoring {
+            nodes: 20,
+            colors: 3,
+        };
+        let mut tuned = bench.tuned_config();
+        tuned.target_cost = -1;
+        let engine = AdaptiveSearch::new(tuned);
+        let run = |scalar: bool| {
+            let mut evaluator = if scalar {
+                Box::new(ScalarProbes(bench.build())) as Box<dyn Evaluator>
+            } else {
+                bench.build()
+            };
+            let mut rng = default_rng(THROUGHPUT_SEED);
+            let mut budget = Some(2_000u64);
+            engine.solve_scheduled(&mut evaluator, &mut rng, &StopControl::new(), move |_| {
+                budget.take()
+            })
+        };
+        let batched = run(false);
+        let scalar = run(true);
+        assert!(
+            !ScalarProbes(bench.build())
+                .incremental_profile()
+                .batched_probes
+        );
+        assert_eq!(batched.solution, scalar.solution);
+        assert_eq!(batched.stats, scalar.stats);
+
+        let speedup = measure_batch_speedup(
+            &bench,
+            &ThroughputConfig {
+                budget: 400,
+                repetitions: 1,
+            },
+        );
+        assert_eq!(speedup.id, "coloring-20x3");
+        assert!(speedup.iters_per_sec_batched > 0.0);
+        assert!(speedup.iters_per_sec_scalar > 0.0);
+        assert!(speedup.speedup > 0.0);
     }
 
     #[test]

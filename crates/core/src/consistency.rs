@@ -304,6 +304,76 @@ pub fn check_projection_cache<E: Evaluator>(mut problem: E, seed: u64, swaps: us
     }
 }
 
+/// Check that batched probing agrees **exactly** with the scalar probes it
+/// batches: `cost_if_swaps(perm, cost, i, js, out)` must write
+/// `cost_if_swap(perm, cost, i, js[k])` into `out[k]` for every `k`.
+///
+/// The engine's candidate scans break ties over probe values with reservoir
+/// sampling, so even a one-off approximation in a batched kernel would
+/// silently change trajectories; this check drives full candidate rows (the
+/// exact shape the worst-variable scan sends), random subsets with
+/// duplicates and `i` itself, from both fresh and mid-walk configurations.
+///
+/// # Panics
+///
+/// Panics on the first batched entry that disagrees with its scalar probe.
+pub fn check_batched_probes<E: Evaluator>(mut problem: E, seed: u64, rounds: usize) {
+    let n = problem.size();
+    assert!(n >= 2, "batched probe check needs at least two variables");
+    let mut rng = default_rng(seed);
+    let mut js: Vec<usize> = Vec::new();
+    let mut out: Vec<i64> = Vec::new();
+    for round in 0..rounds {
+        let mut perm = rng.permutation(n);
+        let mut cost = problem.init(&perm);
+        // Walk a few executed swaps so later rounds probe mid-search
+        // incremental state, not just freshly initialized state.
+        for _ in 0..round % 4 {
+            let i = rng.index(n);
+            let j = rng.index(n);
+            if i == j {
+                continue;
+            }
+            cost = problem.cost_if_swap(&perm, cost, i, j);
+            perm.swap(i, j);
+            problem.executed_swap(&perm, i, j);
+        }
+
+        // A full candidate row, exactly what the engine's worst-variable
+        // scan batches.
+        let i = rng.index(n);
+        js.clear();
+        js.extend((0..n).filter(|&j| j != i));
+        out.clear();
+        out.resize(js.len(), 0);
+        problem.cost_if_swaps(&perm, cost, i, &js, &mut out);
+        for (k, &j) in js.iter().enumerate() {
+            assert_eq!(
+                out[k],
+                problem.cost_if_swap(&perm, cost, i, j),
+                "cost_if_swaps disagrees with cost_if_swap at i={i} j={j} (full row, round {round})"
+            );
+        }
+
+        // A random subset: duplicates and the degenerate partner `i` itself
+        // are allowed by the contract and must still match.
+        js.clear();
+        for _ in 0..=rng.index(n) {
+            js.push(rng.index(n));
+        }
+        out.clear();
+        out.resize(js.len(), 0);
+        problem.cost_if_swaps(&perm, cost, i, &js, &mut out);
+        for (k, &j) in js.iter().enumerate() {
+            assert_eq!(
+                out[k],
+                problem.cost_if_swap(&perm, cost, i, j),
+                "cost_if_swaps disagrees with cost_if_swap at i={i} j={j} (subset, round {round})"
+            );
+        }
+    }
+}
+
 /// Assert that a problem's [`crate::IncrementalProfile`] rules out every
 /// default probe path on the engine's hot loop: scratch-buffer `cost`,
 /// incremental `cost_if_swap` and `executed_swap`, and either a tracked
@@ -397,6 +467,48 @@ mod tests {
             }
         }
         check_incremental_consistency(Lying, 23, 5);
+    }
+
+    #[test]
+    fn default_batched_probes_pass_the_harness() {
+        check_batched_probes(SortPermutation::new(12), 29, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_if_swaps disagrees")]
+    fn a_lying_batched_kernel_is_caught() {
+        #[derive(Clone)]
+        struct LyingBatch(SortPermutation);
+        impl Evaluator for LyingBatch {
+            fn size(&self) -> usize {
+                self.0.size()
+            }
+            fn init(&mut self, perm: &[usize]) -> i64 {
+                self.0.init(perm)
+            }
+            fn cost(&self, perm: &[usize]) -> i64 {
+                self.0.cost(perm)
+            }
+            fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
+                self.0.cost_on_variable(perm, i)
+            }
+            fn cost_if_swap(&self, perm: &[usize], c: i64, i: usize, j: usize) -> i64 {
+                self.0.cost_if_swap(perm, c, i, j)
+            }
+            fn cost_if_swaps(
+                &self,
+                perm: &[usize],
+                c: i64,
+                i: usize,
+                js: &[usize],
+                out: &mut [i64],
+            ) {
+                for (slot, &j) in out.iter_mut().zip(js) {
+                    *slot = self.0.cost_if_swap(perm, c, i, j) + 1; // off by one
+                }
+            }
+        }
+        check_batched_probes(LyingBatch(SortPermutation::new(8)), 31, 3);
     }
 
     #[test]

@@ -276,6 +276,16 @@ impl AdaptiveSearch {
         let mut err_cache: Vec<i64> = vec![0; n];
         let mut touched: Vec<usize> = Vec::with_capacity(n);
 
+        // Batched-probe dispatch, read once per solve: evaluators with a
+        // native `cost_if_swaps` kernel get whole candidate rows in one call;
+        // everyone else keeps the scalar probe loop (avoiding the pointless
+        // buffer traffic a batched call would add on top of O(1) probes).
+        // Both paths scan candidates in the same order with the same
+        // comparisons and the same RNG draws, so they are bit-identical.
+        let batched = eval.incremental_profile().batched_probes;
+        let mut probe_js: Vec<usize> = Vec::with_capacity(n);
+        let mut probe_out: Vec<i64> = vec![0; n];
+
         // Countdown to the next stop-flag poll: one subtraction per iteration
         // instead of a modulo on the hot path.  Starts at zero so the first
         // iteration polls, exactly like `iterations % interval == 0` did.
@@ -351,20 +361,52 @@ impl AdaptiveSearch {
                     let mut best_pair: Option<(usize, usize)> = None;
                     let mut pair_ties: u32 = 0;
                     'scan: for a in 0..n {
-                        for b in a + 1..n {
-                            let new_cost = eval.cost_if_swap(&perm, cost, a, b);
-                            stats.swap_evaluations += 1;
-                            if new_cost < best_cost {
-                                best_cost = new_cost;
-                                best_pair = Some((a, b));
-                                pair_ties = 1;
-                                if cfg.first_best && new_cost < cost {
-                                    break 'scan;
-                                }
-                            } else if new_cost == best_cost {
-                                pair_ties += 1;
-                                if rng.below(u64::from(pair_ties)) == 0 {
+                        if batched {
+                            // One batched call per row `a`: probe values are
+                            // consumed in the same (a, b) order as the scalar
+                            // loop, and `swap_evaluations` counts only the
+                            // entries the selection actually scanned, so a
+                            // first-best break leaves identical stats.
+                            probe_js.clear();
+                            probe_js.extend(a + 1..n);
+                            if probe_js.is_empty() {
+                                continue;
+                            }
+                            let row = &mut probe_out[..probe_js.len()];
+                            eval.cost_if_swaps(&perm, cost, a, &probe_js, row);
+                            for (k, &b) in probe_js.iter().enumerate() {
+                                let new_cost = probe_out[k];
+                                stats.swap_evaluations += 1;
+                                if new_cost < best_cost {
+                                    best_cost = new_cost;
                                     best_pair = Some((a, b));
+                                    pair_ties = 1;
+                                    if cfg.first_best && new_cost < cost {
+                                        break 'scan;
+                                    }
+                                } else if new_cost == best_cost {
+                                    pair_ties += 1;
+                                    if rng.below(u64::from(pair_ties)) == 0 {
+                                        best_pair = Some((a, b));
+                                    }
+                                }
+                            }
+                        } else {
+                            for b in a + 1..n {
+                                let new_cost = eval.cost_if_swap(&perm, cost, a, b);
+                                stats.swap_evaluations += 1;
+                                if new_cost < best_cost {
+                                    best_cost = new_cost;
+                                    best_pair = Some((a, b));
+                                    pair_ties = 1;
+                                    if cfg.first_best && new_cost < cost {
+                                        break 'scan;
+                                    }
+                                } else if new_cost == best_cost {
+                                    pair_ties += 1;
+                                    if rng.below(u64::from(pair_ties)) == 0 {
+                                        best_pair = Some((a, b));
+                                    }
                                 }
                             }
                         }
@@ -423,25 +465,56 @@ impl AdaptiveSearch {
                     let mut best_cost = i64::MAX;
                     let mut best_j: Option<usize> = None;
                     let mut swap_ties: u32 = 0;
-                    for j in 0..n {
-                        if j == worst {
-                            continue;
-                        }
-                        let new_cost = eval.cost_if_swap(&perm, cost, worst, j);
-                        stats.swap_evaluations += 1;
-                        if new_cost < best_cost {
-                            best_cost = new_cost;
-                            best_j = Some(j);
-                            swap_ties = 1;
-                            if cfg.first_best && new_cost < cost {
-                                break;
-                            }
-                        } else if new_cost == best_cost {
-                            // Reservoir-sample among equally good swaps so
-                            // ties do not systematically favour small indices.
-                            swap_ties += 1;
-                            if rng.below(u64::from(swap_ties)) == 0 {
+                    if batched {
+                        // The whole candidate row in one evaluator call; the
+                        // selection below then consumes the probe values in
+                        // the exact order (and with the exact RNG draws) of
+                        // the scalar loop.  A first-best break stops the
+                        // *scan* early — `swap_evaluations` counts scanned
+                        // entries, keeping stats identical to scalar mode.
+                        probe_js.clear();
+                        probe_js.extend((0..n).filter(|&j| j != worst));
+                        let row = &mut probe_out[..n - 1];
+                        eval.cost_if_swaps(&perm, cost, worst, &probe_js, row);
+                        for (k, &j) in probe_js.iter().enumerate() {
+                            let new_cost = probe_out[k];
+                            stats.swap_evaluations += 1;
+                            if new_cost < best_cost {
+                                best_cost = new_cost;
                                 best_j = Some(j);
+                                swap_ties = 1;
+                                if cfg.first_best && new_cost < cost {
+                                    break;
+                                }
+                            } else if new_cost == best_cost {
+                                swap_ties += 1;
+                                if rng.below(u64::from(swap_ties)) == 0 {
+                                    best_j = Some(j);
+                                }
+                            }
+                        }
+                    } else {
+                        for j in 0..n {
+                            if j == worst {
+                                continue;
+                            }
+                            let new_cost = eval.cost_if_swap(&perm, cost, worst, j);
+                            stats.swap_evaluations += 1;
+                            if new_cost < best_cost {
+                                best_cost = new_cost;
+                                best_j = Some(j);
+                                swap_ties = 1;
+                                if cfg.first_best && new_cost < cost {
+                                    break;
+                                }
+                            } else if new_cost == best_cost {
+                                // Reservoir-sample among equally good swaps so
+                                // ties do not systematically favour small
+                                // indices.
+                                swap_ties += 1;
+                                if rng.below(u64::from(swap_ties)) == 0 {
+                                    best_j = Some(j);
+                                }
                             }
                         }
                     }

@@ -12,11 +12,19 @@ use crate::config::SearchConfig;
 /// Which hot-path [`Evaluator`] methods an implementation provides
 /// incrementally, instead of inheriting the allocate-and-recompute defaults.
 ///
-/// The engine never branches on this value — correctness comes from the
-/// method contracts alone.  It exists so that harnesses (and the
-/// `cbls-problems` consistency tests) can *assert* that a catalog problem
-/// does not silently fall back to a default probe path, which would be a
-/// silent O(n)→O(n²) performance regression rather than a bug.
+/// With one exception the engine never branches on this value — correctness
+/// comes from the method contracts alone.  It exists so that harnesses (and
+/// the `cbls-problems` consistency tests) can *assert* that a catalog
+/// problem does not silently fall back to a default probe path, which would
+/// be a silent O(n)→O(n²) performance regression rather than a bug.
+///
+/// The exception is [`batched_probes`](Self::batched_probes): the engine
+/// reads it once per solve to choose between the scalar candidate scan and
+/// the batched [`Evaluator::cost_if_swaps`] scan.  The two scans are
+/// bit-identical by contract (same probe values, same tie-breaking, same
+/// RNG stream), so the branch is a pure performance dispatch — evaluators
+/// without a native batched kernel keep the scalar scan and avoid the
+/// scratch-buffer traffic the batched path would add for no gain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IncrementalProfile {
     /// `cost` recomputes from scratch with local scratch buffers instead of
@@ -34,6 +42,10 @@ pub struct IncrementalProfile {
     /// `project_errors_full` is a batched single pass over the constraint
     /// state rather than `size()` independent `cost_on_variable` calls.
     pub batched_projection: bool,
+    /// `cost_if_swaps` evaluates a whole candidate row in one pass over the
+    /// constraint state instead of the default per-`j` probe loop; the
+    /// engine's candidate scans batch through it when this is set.
+    pub batched_probes: bool,
 }
 
 /// A permutation-structured constraint problem evaluated by Adaptive Search.
@@ -87,6 +99,38 @@ pub trait Evaluator: Send {
         let mut probe = perm.to_vec();
         probe.swap(i, j);
         self.cost(&probe)
+    }
+
+    /// Batched candidate probing: set `out[k] = cost_if_swap(perm,
+    /// current_cost, i, js[k])` for every `k` (`out.len() == js.len()`).
+    ///
+    /// The engine's candidate scans call this with a whole row of partners at
+    /// once when [`IncrementalProfile::batched_probes`] is set, letting an
+    /// evaluator amortize per-probe dispatch and walk its constraint state in
+    /// one cache-friendly pass.  The default loops over
+    /// [`cost_if_swap`](Evaluator::cost_if_swap), so scalar evaluators are
+    /// automatically batch-correct.
+    ///
+    /// # Contract
+    ///
+    /// * `out[k]` must be **exactly** the value `cost_if_swap(perm,
+    ///   current_cost, i, js[k])` would return — not an approximation.  The
+    ///   engine breaks ties over probe values with reservoir sampling, so any
+    ///   deviation changes the RNG stream and the whole trajectory.
+    /// * No state mutation, like `cost_if_swap`.
+    /// * `js` may contain any partners (including `i` itself); entries are
+    ///   evaluated independently.
+    fn cost_if_swaps(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        for (slot, &j) in out.iter_mut().zip(js) {
+            *slot = self.cost_if_swap(perm, current_cost, i, j);
+        }
     }
 
     /// Notification that the engine swapped positions `i` and `j`; `perm` is
@@ -184,6 +228,16 @@ impl<E: Evaluator + ?Sized> Evaluator for &mut E {
     fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
         (**self).cost_if_swap(perm, current_cost, i, j)
     }
+    fn cost_if_swaps(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        (**self).cost_if_swaps(perm, current_cost, i, js, out)
+    }
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         (**self).executed_swap(perm, i, j)
     }
@@ -225,6 +279,16 @@ impl<E: Evaluator + ?Sized> Evaluator for Box<E> {
     }
     fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
         (**self).cost_if_swap(perm, current_cost, i, j)
+    }
+    fn cost_if_swaps(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        (**self).cost_if_swaps(perm, current_cost, i, js, out)
     }
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         (**self).executed_swap(perm, i, j)
@@ -414,6 +478,29 @@ mod tests {
                     "i={i} j={j}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn default_cost_if_swaps_matches_scalar_probes() {
+        let p = SortPermutation::new(6);
+        let perm = vec![5, 4, 3, 2, 1, 0];
+        let c = p.cost(&perm);
+        for i in 0..6 {
+            let js: Vec<usize> = (0..6).filter(|&j| j != i).collect();
+            let mut out = vec![0i64; js.len()];
+            p.cost_if_swaps(&perm, c, i, &js, &mut out);
+            for (k, &j) in js.iter().enumerate() {
+                assert_eq!(out[k], p.cost_if_swap(&perm, c, i, j), "i={i} j={j}");
+            }
+        }
+        // boxed dispatch must forward to the same implementation
+        let boxed: Box<dyn Evaluator> = Box::new(SortPermutation::new(6));
+        let mut out = vec![0i64; 5];
+        let js: Vec<usize> = (1..6).collect();
+        boxed.cost_if_swaps(&perm, c, 0, &js, &mut out);
+        for (k, &j) in js.iter().enumerate() {
+            assert_eq!(out[k], boxed.cost_if_swap(&perm, c, 0, j));
         }
     }
 

@@ -54,3 +54,35 @@ impl Evaluator for Modest {
         }
     }
 }
+
+/// Claims the batched probe row it does not provide: one finding.
+impl Evaluator for BatchOverclaiming {
+    fn cost_if_swap(&self, _perm: &[usize], current: i64, _i: usize, _j: usize) -> i64 {
+        current
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        // line 64: claims cost_if_swaps it does not define
+        IncrementalProfile {
+            incremental_cost_if_swap: true,
+            batched_probes: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Batched claim with the row override present: clean.
+impl Evaluator for BatchHonest {
+    fn cost_if_swaps(&self, _perm: &[usize], current: i64, _i: usize, js: &[usize], out: &mut [i64]) {
+        for k in 0..js.len() {
+            out[k] = current;
+        }
+    }
+
+    fn incremental_profile(&self) -> IncrementalProfile {
+        IncrementalProfile {
+            batched_probes: true,
+            ..Default::default()
+        }
+    }
+}

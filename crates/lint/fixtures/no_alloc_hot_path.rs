@@ -60,3 +60,14 @@ trait Evaluator {
         probe.len() as i64
     }
 }
+
+// The batched probe row is a hot path too: the candidate scan calls
+// `cost_if_swaps` once per worst variable, so its body is under the same ban.
+impl Evaluator for BatchedFixture {
+    fn cost_if_swaps(&self, perm: &[usize], current: i64, i: usize, js: &[usize], out: &mut [i64]) {
+        let row = js.to_vec(); // line 68: .to_vec() in the batched row
+        for (k, &j) in row.iter().enumerate() {
+            out[k] = current + (perm[i] + perm[j]) as i64;
+        }
+    }
+}

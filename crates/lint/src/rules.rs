@@ -36,8 +36,9 @@ pub const RULES: [&str; 5] = [
 ];
 
 /// The engine hot-path methods rule `no-alloc-hot-path` guards.
-pub const HOT_PATH_FNS: [&str; 4] = [
+pub const HOT_PATH_FNS: [&str; 5] = [
     "cost_if_swap",
+    "cost_if_swaps",
     "executed_swap",
     "project_errors",
     "project_errors_full",
@@ -278,12 +279,13 @@ fn check_atomics_justified(rel_path: &str, scanned: &Scanned, findings: &mut Vec
 
 /// `IncrementalProfile` flag → the `Evaluator` method that must be overridden
 /// when the flag is claimed `true`.
-pub const PROFILE_CLAIMS: [(&str, &str); 5] = [
+pub const PROFILE_CLAIMS: [(&str, &str); 6] = [
     ("scratch_cost", "cost"),
     ("incremental_cost_if_swap", "cost_if_swap"),
     ("incremental_executed_swap", "executed_swap"),
     ("tracked_dirty_sets", "touched_by_swap"),
     ("batched_projection", "project_errors_full"),
+    ("batched_probes", "cost_if_swaps"),
 ];
 
 fn check_incremental_contract(

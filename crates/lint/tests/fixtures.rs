@@ -27,10 +27,10 @@ fn no_alloc_hot_path_fires_on_every_banned_shape() {
     // One finding per seeded allocation, at the seeded line, nothing else.
     assert_eq!(
         rule_lines(&findings, rules::NO_ALLOC_HOT_PATH),
-        vec![15, 16, 17, 22, 28, 33, 34],
+        vec![15, 16, 17, 22, 28, 33, 34, 68],
         "findings: {findings:#?}"
     );
-    assert_eq!(findings.len(), 7, "findings: {findings:#?}");
+    assert_eq!(findings.len(), 8, "findings: {findings:#?}");
     let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
     for pattern in [
         ".to_vec()",
@@ -46,6 +46,11 @@ fn no_alloc_hot_path_fires_on_every_banned_shape() {
             "no finding mentions {pattern}: {messages:?}"
         );
     }
+    // The batched probe row is guarded like the scalar probe.
+    assert!(
+        messages.iter().any(|m| m.contains("`cost_if_swaps`")),
+        "no finding inside the batched row: {messages:?}"
+    );
 }
 
 #[test]
@@ -70,10 +75,11 @@ fn no_alloc_hot_path_guards_recording_methods() {
 fn no_alloc_hot_path_escapes_and_trait_defaults_are_clean() {
     let findings = lint_fixture("no_alloc_hot_path.rs");
     // The `Allowed` impl (escaped) and the trait default body contribute
-    // nothing: all findings live in the `Fixture` impl (lines < 45).
+    // nothing: all findings live in the `Fixture` impl (lines < 45) or the
+    // seeded `BatchedFixture` batched-row impl (lines >= 63).
     assert!(
-        findings.iter().all(|f| f.line < 45),
-        "findings leaked past the seeded impl: {findings:#?}"
+        findings.iter().all(|f| f.line < 45 || f.line >= 63),
+        "findings leaked past the seeded impls: {findings:#?}"
     );
 }
 
@@ -125,14 +131,16 @@ fn atomics_rule_requires_justifications() {
 fn incremental_contract_rule_catches_overclaiming_profiles() {
     let findings = lint_fixture("incremental_contract.rs");
     let lines = rule_lines(&findings, rules::INCREMENTAL_CONTRACT_COMPLETE);
-    assert_eq!(lines, vec![13, 13], "findings: {findings:#?}");
-    assert_eq!(findings.len(), 2);
+    assert_eq!(lines, vec![13, 13, 64], "findings: {findings:#?}");
+    assert_eq!(findings.len(), 3);
     let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
     assert!(messages.iter().any(|m| m.contains("`executed_swap`")));
     assert!(messages.iter().any(|m| m.contains("`touched_by_swap`")));
+    // `batched_probes: true` without the row override is an overclaim too.
+    assert!(messages.iter().any(|m| m.contains("`cost_if_swaps`")));
     assert!(
         messages.iter().all(|m| m.contains("Overclaiming")),
-        "honest/silent/modest impls must stay clean: {messages:?}"
+        "honest/silent/modest/batch-honest impls must stay clean: {messages:?}"
     );
 }
 

@@ -1,10 +1,11 @@
 //! The model builder and the generic incremental evaluator.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 
-use crate::term::{Dv, Term};
+use crate::term::{Dv, Term, TermState, TermStateMut};
 
 /// Hook refining the engine configuration for a model (the declarative
 /// equivalent of [`Evaluator::tune`]).
@@ -117,6 +118,10 @@ impl Model {
         let mut weights = Vec::with_capacity(self.terms.len());
         let mut terms = Vec::with_capacity(self.terms.len());
         let mut terms_of_var: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Prefix sums into the shared occurrence slab: term t's table is
+        // occ[occ_off[t]..occ_off[t + 1]].
+        let mut occ_off = Vec::with_capacity(self.terms.len() + 1);
+        occ_off.push(0usize);
         for (t, (weight, mut term)) in self.terms.into_iter().enumerate() {
             assert!(
                 weight > 0,
@@ -131,7 +136,11 @@ impl Model {
                 term.family(),
                 term.max_var()
             );
-            term.bind(&self.vals);
+            let occ_len = term.bind(&self.vals);
+            occ_off.push(occ_off[t] + occ_len);
+            // `for_each_var` visits in ascending order, and terms are pushed
+            // in ascending index order, so each list is born sorted; only
+            // the duplicates of a term visiting a slot twice need removing.
             term.for_each_var(|v| terms_of_var[v].push(t as u32));
             weights.push(weight);
             terms.push(term);
@@ -139,12 +148,27 @@ impl Model {
         for list in &mut terms_of_var {
             list.dedup();
         }
+        let m = terms.len();
+        let slab = *occ_off.last().expect("non-empty offsets");
         ModelEvaluator {
             name: self.name,
+            dvals: vec![0; n],
             vals: self.vals,
             weights,
             terms,
             terms_of_var,
+            occ: vec![0; slab],
+            occ_off,
+            term_viol: vec![0; m],
+            term_aux: vec![0; m],
+            dirty: vec![0; n],
+            probe: ProbeScratch {
+                acc: RefCell::new(vec![0; n]),
+                stamps: RefCell::new(TermStamps {
+                    stamp: vec![0; m],
+                    epoch: 0,
+                }),
+            },
             total: 0,
             tuner: self.tuner,
             verifier: self.verifier,
@@ -152,11 +176,37 @@ impl Model {
     }
 }
 
+/// Epoch-stamped membership set for `terms_of_var[i]`, so the batched probe
+/// can test "does term t contain the anchor slot" in O(1) without clearing
+/// a bitmap per row.
+#[derive(Clone)]
+struct TermStamps {
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+/// Reusable scratch for the batched probe row, sized at build time so the
+/// hot path never allocates; interior mutability because probes take
+/// `&self`.
+#[derive(Clone)]
+struct ProbeScratch {
+    /// Weighted-delta accumulator, one slot per probe partner.
+    acc: RefCell<Vec<i64>>,
+    stamps: RefCell<TermStamps>,
+}
+
 /// The generic incremental evaluator behind every [`Model`]: implements the
 /// full [`cbls_core::Evaluator`] contract — scratch-buffer cost, in-place
-/// `cost_if_swap`, incremental `executed_swap`, tracked dirty sets and a
-/// batched error projection — by dispatching each hook to the terms whose
-/// variable set contains a swapped slot.
+/// `cost_if_swap`, batched `cost_if_swaps`, incremental `executed_swap`,
+/// tracked dirty sets and a batched error projection — by dispatching each
+/// hook to the terms whose variable set contains a swapped slot.
+///
+/// All mutable search state lives in flat structure-of-arrays slabs owned
+/// here: the decoded value of every slot (`dvals`, maintained with two
+/// writes per executed swap), one shared occurrence slab sliced per term,
+/// the per-term violations and scalar state, and a per-slot count of
+/// violated terms (`dirty`) that powers the opt-in move-filtering row
+/// ([`ModelEvaluator::cost_if_swaps_filtered`]).
 #[derive(Clone)]
 pub struct ModelEvaluator {
     name: String,
@@ -165,6 +215,18 @@ pub struct ModelEvaluator {
     terms: Vec<Term>,
     /// `terms_of_var[v]` = ascending indices of the terms constraining `v`.
     terms_of_var: Vec<Vec<u32>>,
+    /// Decoded value of every slot under the current configuration.
+    dvals: Vec<i64>,
+    /// Shared occurrence slab; term `t` owns `occ[occ_off[t]..occ_off[t+1]]`.
+    occ: Vec<u32>,
+    occ_off: Vec<usize>,
+    /// Cached violation per term.
+    term_viol: Vec<i64>,
+    /// Scalar term state (the running sum of a linear term).
+    term_aux: Vec<i64>,
+    /// Number of currently violated terms containing each slot.
+    dirty: Vec<u32>,
+    probe: ProbeScratch,
     /// Cached weighted violation of the current configuration.
     total: i64,
     tuner: Option<Arc<TuneFn>>,
@@ -206,12 +268,68 @@ impl ModelEvaluator {
         perm.iter().map(|&p| self.vals[p]).collect()
     }
 
-    #[inline]
-    fn dv<'a>(&'a self, perm: &'a [usize]) -> Dv<'a> {
-        Dv {
-            vals: &self.vals,
-            perm,
+    /// The indices of the terms constraining `slot`: ascending and
+    /// deduplicated — the invariant every merge walk over two per-slot
+    /// lists (`for_each_affected_term`, the term-side pair merges) relies
+    /// on.
+    #[must_use]
+    pub fn terms_of(&self, slot: usize) -> &[u32] {
+        &self.terms_of_var[slot]
+    }
+
+    /// The move-filtering probe row: when every term containing the anchor
+    /// `i` is satisfied (`dirty[i] == 0`), partners whose affected terms
+    /// all certify a zero delta (`Term::swap_keeps_satisfied`) are
+    /// answered without computing anything; everything else falls back to
+    /// exact scalar probes.  Bit-identical to [`Evaluator::cost_if_swaps`]
+    /// (the cross-check tests hold both paths equal), but measured slower
+    /// mid-search than the batch kernels — with tabulated/O(1) per-term
+    /// deltas a failed certificate pays a second full term walk — so the
+    /// trait hook no longer dispatches here.
+    pub fn cost_if_swaps_filtered(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        self.debug_assert_current(perm);
+        if self.dirty[i] == 0 {
+            self.probe_row_filtered(current_cost, i, js, out);
+        } else {
+            self.probe_row_batched(current_cost, i, js, out);
         }
+    }
+
+    /// The current decoded-value view (valid between `init` and the next
+    /// accepted swap's `executed_swap`).
+    #[inline]
+    fn dv(&self) -> Dv<'_> {
+        Dv { dvals: &self.dvals }
+    }
+
+    /// Term `t`'s slice of the state slabs.
+    #[inline]
+    fn term_state(&self, t: usize) -> TermState<'_> {
+        TermState {
+            occ: &self.occ[self.occ_off[t]..self.occ_off[t + 1]],
+            aux: self.term_aux[t],
+        }
+    }
+
+    /// Every stateful hook requires the caller's permutation to be the one
+    /// the internal slabs track (the engine guarantees this; `init`
+    /// re-synchronizes after resets).
+    #[inline]
+    fn debug_assert_current(&self, perm: &[usize]) {
+        debug_assert_eq!(perm.len(), self.dvals.len(), "wrong permutation arity");
+        debug_assert!(
+            perm.iter()
+                .zip(&self.dvals)
+                .all(|(&p, &d)| self.vals[p] == d),
+            "hook called with a permutation that does not match the tracked configuration"
+        );
     }
 
     /// Visit the union of the terms constraining `i` or `j`, in ascending
@@ -221,6 +339,84 @@ impl ModelEvaluator {
         crate::term::merge_sorted(&self.terms_of_var[i], &self.terms_of_var[j], |t| {
             f(t as usize);
         });
+    }
+
+    /// The batched probe row: run every anchored term's batch kernel over
+    /// the whole partner row, then patch in the terms that touch only the
+    /// partner with scalar probes (membership tested via the epoch stamps).
+    fn probe_row_batched(&self, current_cost: i64, i: usize, js: &[usize], out: &mut [i64]) {
+        let dv = self.dv();
+        let vi = dv.get(i);
+        let mut acc_ref = self.probe.acc.borrow_mut();
+        if acc_ref.len() < js.len() {
+            // Only reachable through direct trait calls with an oversized
+            // row; the engine's rows are at most n - 1 partners.
+            acc_ref.resize(js.len(), 0);
+        }
+        let acc = &mut acc_ref[..js.len()];
+        acc.iter_mut().for_each(|a| *a = 0);
+        let mut stamps_ref = self.probe.stamps.borrow_mut();
+        let TermStamps { stamp, epoch } = &mut *stamps_ref;
+        *epoch += 1;
+        for &t in &self.terms_of_var[i] {
+            stamp[t as usize] = *epoch;
+        }
+        for &t in &self.terms_of_var[i] {
+            let t = t as usize;
+            self.terms[t].delta_swaps_batch(dv, self.term_state(t), i, js, self.weights[t], acc);
+        }
+        for (k, &j) in js.iter().enumerate() {
+            if j == i || dv.get(j) == vi {
+                // Equal decoded values: every term state is a function of
+                // the values alone, so the swap is a no-op.
+                out[k] = current_cost;
+                continue;
+            }
+            let mut extra = 0;
+            for &t in &self.terms_of_var[j] {
+                let t = t as usize;
+                if stamp[t] != *epoch {
+                    extra +=
+                        self.weights[t] * self.terms[t].delta_swap(dv, self.term_state(t), i, j);
+                }
+            }
+            out[k] = current_cost + acc[k] + extra;
+        }
+    }
+
+    /// The move-filtering probe row, taken by
+    /// [`Self::cost_if_swaps_filtered`] when every term containing the
+    /// anchor `i` is satisfied (`dirty[i] == 0`).  A probe whose partner is
+    /// also clean and whose affected terms all certify a zero delta
+    /// ([`Term::swap_keeps_satisfied`]) is answered as `current_cost`
+    /// without touching the term state; everything else falls back to the
+    /// exact scalar probe, so the filtered row is bit-identical to the
+    /// batched one.
+    fn probe_row_filtered(&self, current_cost: i64, i: usize, js: &[usize], out: &mut [i64]) {
+        let dv = self.dv();
+        let vi = dv.get(i);
+        for (k, &j) in js.iter().enumerate() {
+            if j == i || dv.get(j) == vi {
+                out[k] = current_cost;
+                continue;
+            }
+            if self.dirty[j] == 0 {
+                let mut all_zero = true;
+                self.for_each_affected_term(i, j, |t| {
+                    all_zero = all_zero
+                        && self.terms[t].swap_keeps_satisfied(dv, self.term_state(t), i, j);
+                });
+                if all_zero {
+                    out[k] = current_cost;
+                    continue;
+                }
+            }
+            let mut delta = 0;
+            self.for_each_affected_term(i, j, |t| {
+                delta += self.weights[t] * self.terms[t].delta_swap(dv, self.term_state(t), i, j);
+            });
+            out[k] = current_cost + delta;
+        }
     }
 }
 
@@ -234,21 +430,47 @@ impl Evaluator for ModelEvaluator {
     }
 
     fn init(&mut self, perm: &[usize]) -> i64 {
+        let Self {
+            vals,
+            dvals,
+            weights,
+            terms,
+            occ,
+            occ_off,
+            term_viol,
+            term_aux,
+            dirty,
+            total,
+            ..
+        } = self;
+        dvals.clear();
+        dvals.extend(perm.iter().map(|&p| vals[p]));
         let dv = Dv {
-            vals: &self.vals,
-            perm,
+            dvals: dvals.as_slice(),
         };
-        let mut total = 0;
-        // Split borrow: terms are rebuilt in place while vals stay shared.
-        for (term, &w) in self.terms.iter_mut().zip(&self.weights) {
-            total += w * term.rebuild(dv);
+        dirty.iter_mut().for_each(|d| *d = 0);
+        let mut sum = 0;
+        for (t, term) in terms.iter().enumerate() {
+            let st = TermStateMut {
+                occ: &mut occ[occ_off[t]..occ_off[t + 1]],
+                aux: &mut term_aux[t],
+            };
+            let v = term.rebuild(dv, st);
+            term_viol[t] = v;
+            if v != 0 {
+                term.for_each_var(|s| dirty[s] += 1);
+            }
+            sum += weights[t] * v;
         }
-        self.total = total;
-        total
+        *total = sum;
+        sum
     }
 
     fn cost(&self, perm: &[usize]) -> i64 {
-        let dv = self.dv(perm);
+        // Scratch recomputation of an arbitrary candidate: decode locally
+        // (this hook is not on the probe path, so the allocation is fine).
+        let decoded = self.decoded(perm);
+        let dv = Dv { dvals: &decoded };
         self.terms
             .iter()
             .zip(&self.weights)
@@ -257,15 +479,20 @@ impl Evaluator for ModelEvaluator {
     }
 
     fn cost_on_variable(&self, perm: &[usize], i: usize) -> i64 {
-        let dv = self.dv(perm);
+        self.debug_assert_current(perm);
+        let dv = self.dv();
         self.terms_of_var[i]
             .iter()
-            .map(|&t| self.weights[t as usize] * self.terms[t as usize].var_error(dv, i))
+            .map(|&t| {
+                let t = t as usize;
+                self.weights[t] * self.terms[t].var_error(dv, self.term_state(t), i)
+            })
             .sum()
     }
 
     fn cost_if_swap(&self, perm: &[usize], current_cost: i64, i: usize, j: usize) -> i64 {
-        let dv = self.dv(perm);
+        self.debug_assert_current(perm);
+        let dv = self.dv();
         if i == j || dv.get(i) == dv.get(j) {
             // Equal decoded values: every term state is a function of the
             // values alone, so the swap is a no-op.
@@ -273,52 +500,102 @@ impl Evaluator for ModelEvaluator {
         }
         let mut delta = 0;
         self.for_each_affected_term(i, j, |t| {
-            delta += self.weights[t] * self.terms[t].delta_swap(dv, i, j);
+            delta += self.weights[t] * self.terms[t].delta_swap(dv, self.term_state(t), i, j);
         });
         current_cost + delta
     }
 
+    fn cost_if_swaps(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        self.debug_assert_current(perm);
+        // Always the batch kernels: with tabulated/O(1) per-term deltas,
+        // certifying a zero delta (`probe_row_filtered`) costs more than
+        // computing it — on coloring-60x3 the filtered dispatch tripled
+        // mid-search scan time (the engine's worst *free* variable is
+        // usually clean because violated variables get frozen, and a failed
+        // certificate pays a second full term walk).  The filtered row
+        // stays available as `cost_if_swaps_filtered` and is held
+        // bit-identical by the cross-check tests.
+        self.probe_row_batched(current_cost, i, js, out);
+    }
+
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         // Destructure so the merge walk can borrow `terms_of_var` while the
-        // closure mutates `terms`.
+        // closure mutates the state slabs.
         let Self {
             vals,
+            dvals,
             weights,
             terms,
             terms_of_var,
+            occ,
+            occ_off,
+            term_viol,
+            term_aux,
+            dirty,
             total,
             ..
         } = self;
-        let dv = Dv { vals, perm };
-        if i == j || dv.get(i) == dv.get(j) {
+        if i == j || dvals[i] == dvals[j] {
             return;
         }
+        dvals.swap(i, j);
+        debug_assert!(
+            perm.iter().zip(dvals.iter()).all(|(&p, &d)| vals[p] == d),
+            "executed_swap must receive the post-swap permutation"
+        );
+        let dv = Dv {
+            dvals: dvals.as_slice(),
+        };
         let mut delta = 0;
         crate::term::merge_sorted(&terms_of_var[i], &terms_of_var[j], |t| {
             let t = t as usize;
-            delta += weights[t] * terms[t].apply_swap(dv, i, j);
+            let st = TermStateMut {
+                occ: &mut occ[occ_off[t]..occ_off[t + 1]],
+                aux: &mut term_aux[t],
+            };
+            let d = terms[t].apply_swap(dv, st, i, j);
+            if d != 0 {
+                let was = term_viol[t];
+                term_viol[t] += d;
+                // Maintain the violated-set projection onto slots.
+                if was == 0 {
+                    terms[t].for_each_var(|s| dirty[s] += 1);
+                } else if term_viol[t] == 0 {
+                    terms[t].for_each_var(|s| dirty[s] -= 1);
+                }
+                delta += weights[t] * d;
+            }
         });
         *total += delta;
     }
 
     fn touched_by_swap(&self, perm: &[usize], i: usize, j: usize, out: &mut Vec<usize>) -> bool {
-        let dv = self.dv(perm);
-        if i == j || dv.get(i) == dv.get(j) {
+        if i == j || self.dvals[i] == self.dvals[j] {
             return true;
         }
+        self.debug_assert_current(perm);
+        let dv = self.dv();
         out.push(i);
         out.push(j);
         self.for_each_affected_term(i, j, |t| {
-            self.terms[t].touched_vars(dv, i, j, out);
+            self.terms[t].touched_vars(dv, self.term_state(t), i, j, out);
         });
         true
     }
 
     fn project_errors_full(&self, perm: &[usize], out: &mut [i64]) {
-        let dv = self.dv(perm);
+        self.debug_assert_current(perm);
+        let dv = self.dv();
         out.iter_mut().for_each(|e| *e = 0);
-        for (term, &w) in self.terms.iter().zip(&self.weights) {
-            term.accumulate_errors(dv, w, out);
+        for (t, (term, &w)) in self.terms.iter().zip(&self.weights).enumerate() {
+            term.accumulate_errors(dv, self.term_state(t), w, out);
         }
     }
 
@@ -329,6 +606,7 @@ impl Evaluator for ModelEvaluator {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: true,
+            batched_probes: true,
         }
     }
 
@@ -362,8 +640,8 @@ mod tests {
     use super::*;
     use as_rng::{default_rng, RandomSource};
     use cbls_core::consistency::{
-        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
-        check_projection_cache,
+        assert_no_default_hot_paths, check_batched_probes, check_error_projection,
+        check_incremental_consistency, check_projection_cache,
     };
     use cbls_core::AdaptiveSearch;
 
@@ -393,6 +671,77 @@ mod tests {
             check_error_projection(mixed_model(n), 9300 + n as u64, 20);
         }
         assert_no_default_hot_paths(&mixed_model(8));
+    }
+
+    #[test]
+    fn batched_probes_pass_the_core_harness() {
+        for n in [6usize, 9, 14] {
+            check_batched_probes(mixed_model(n), 9400 + n as u64, 12);
+        }
+    }
+
+    #[test]
+    fn terms_of_var_lists_are_sorted_and_deduped() {
+        let m = mixed_model(12);
+        let mut nonempty = 0;
+        for slot in 0..m.size() {
+            let list = m.terms_of(slot);
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "terms_of({slot}) is not strictly ascending: {list:?}"
+            );
+            assert!(
+                list.iter().all(|&t| (t as usize) < m.term_count()),
+                "terms_of({slot}) references a term out of range"
+            );
+            nonempty += usize::from(!list.is_empty());
+        }
+        assert_eq!(nonempty, 12, "every slot of the mixed model is constrained");
+    }
+
+    #[test]
+    fn filtered_and_unfiltered_probes_agree() {
+        // Random walks over models with satisfied terms en route: at every
+        // step the default probe row (the batch kernels), the
+        // move-filtering row (which may take the certificate shortcut) and
+        // the scalar probes must agree bit for bit.
+        let repeats = || {
+            Model::new("repeats", vec![0i64, 0, 0, 1, 1, 2])
+                .term(Term::min_separation([(0, 1), (2, 3), (4, 5)], 1))
+                .term(Term::linear_eq([(0, 1), (3, 2), (5, 1)], 3))
+                .build()
+        };
+        for (mut m, seed) in [
+            (mixed_model(9), 501u64),
+            (repeats(), 502),
+            (mixed_model(6), 503),
+        ] {
+            let n = m.size();
+            let mut rng = default_rng(seed);
+            let mut perm = rng.permutation(n);
+            let mut cost = m.init(&perm);
+            let js: Vec<usize> = (0..n).collect();
+            let mut row = vec![0i64; n];
+            let mut row_filtered = vec![0i64; n];
+            for step in 0..60 {
+                for i in 0..n {
+                    m.cost_if_swaps(&perm, cost, i, &js, &mut row);
+                    m.cost_if_swaps_filtered(&perm, cost, i, &js, &mut row_filtered);
+                    for (k, &j) in js.iter().enumerate() {
+                        let scalar = m.cost_if_swap(&perm, cost, i, j);
+                        assert_eq!(row[k], scalar, "batched row: step {step} i={i} j={j}");
+                        assert_eq!(
+                            row_filtered[k], scalar,
+                            "filtered row: step {step} i={i} j={j}"
+                        );
+                    }
+                }
+                let (i, j) = (rng.index(n), rng.index(n));
+                cost = m.cost_if_swap(&perm, cost, i, j);
+                perm.swap(i, j);
+                m.executed_swap(&perm, i, j);
+            }
+        }
     }
 
     #[test]

@@ -12,15 +12,43 @@
 //! counters are maintained incrementally; a swap only touches the at most
 //! four differences adjacent to the two swapped positions.
 
+use std::cell::RefCell;
+
 use cbls_core::{Evaluator, IncrementalProfile, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 /// The All-Interval Series problem of size `n` (CSPLib prob007).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AllInterval {
     n: usize,
     /// occ[d] = number of adjacent pairs with |difference| = d (index 0 unused).
     occ: Vec<u32>,
+    /// Reusable occurrence-table copy for the batched probe kernel (the
+    /// anchor's removals pre-applied once per row); interior mutability
+    /// because the probe hooks take `&self`.
+    scratch: RefCell<Vec<u32>>,
+}
+
+// Manual (de)serialization: the probe scratch is derived state, so only `n`
+// and the occurrence table travel (the vendored serde derive has no `skip`).
+impl Serialize for AllInterval {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"n\":");
+        self.n.write_json(out);
+        out.push_str(",\"occ\":");
+        self.occ.write_json(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for AllInterval {
+    fn from_json_value(v: &serde::__private::Value) -> Result<Self, serde::__private::DeError> {
+        Ok(Self {
+            n: serde::__private::field(v, "n")?,
+            occ: serde::__private::field(v, "occ")?,
+            scratch: RefCell::new(Vec::new()),
+        })
+    }
 }
 
 impl AllInterval {
@@ -32,7 +60,11 @@ impl AllInterval {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "all-interval series needs at least two elements");
-        Self { n, occ: vec![0; n] }
+        Self {
+            n,
+            occ: vec![0; n],
+            scratch: RefCell::new(Vec::with_capacity(n)),
+        }
     }
 
     /// Series length `n`.
@@ -179,6 +211,79 @@ impl Evaluator for AllInterval {
         cost
     }
 
+    fn cost_if_swaps(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        assert_eq!(js.len(), out.len(), "probe output length mismatch");
+        // Batched kernel over a working copy of the occurrence table: position
+        // `i`'s removals are pre-applied once, each candidate `j` then applies
+        // its own removals and the union's additions directly on the copy
+        // (exact running counts, no pending-adjustment scans) and reverts them
+        // from a stack-resident undo list.  Removal and addition contributions
+        // for a difference value depend only on how many pairs leave/enter it
+        // within the phase, so the reordering relative to the scalar probe's
+        // dedup-union walk cannot change the result.
+        let mut tmp = self.scratch.borrow_mut();
+        tmp.clear();
+        tmp.extend_from_slice(&self.occ);
+        let i_lo = i.saturating_sub(1);
+        let i_hi = i.min(self.n - 2);
+        let mut rm_i = 0i64;
+        for pair in self.pairs_of(i) {
+            let d = Self::diff(perm, pair);
+            if tmp[d] > 1 {
+                rm_i -= 1;
+            }
+            tmp[d] -= 1;
+        }
+        for (k, &j) in js.iter().enumerate() {
+            if i == j || perm[i] == perm[j] {
+                out[k] = current_cost;
+                continue;
+            }
+            let mut undo = [(0usize, 0i32); 8];
+            let mut nu = 0usize;
+            let mut delta = rm_i;
+            for pair in self.pairs_of(j) {
+                if (i_lo..=i_hi).contains(&pair) {
+                    continue; // already removed with `i`'s pairs
+                }
+                let d = Self::diff(perm, pair);
+                if tmp[d] > 1 {
+                    delta -= 1;
+                }
+                tmp[d] -= 1;
+                undo[nu] = (d, 1);
+                nu += 1;
+            }
+            let (pairs, np) = self.affected_pairs(i, j);
+            for &pair in &pairs[..np] {
+                let a = Self::value_after_swap(perm, i, j, pair);
+                let b = Self::value_after_swap(perm, i, j, pair + 1);
+                let d = a.abs_diff(b);
+                if tmp[d] >= 1 {
+                    delta += 1;
+                }
+                tmp[d] += 1;
+                undo[nu] = (d, -1);
+                nu += 1;
+            }
+            out[k] = current_cost + delta;
+            for &(d, sign) in undo[..nu].iter().rev() {
+                if sign > 0 {
+                    tmp[d] += 1;
+                } else {
+                    tmp[d] -= 1;
+                }
+            }
+        }
+    }
+
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         if i == j {
             return;
@@ -268,6 +373,7 @@ impl Evaluator for AllInterval {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: true,
+            batched_probes: true,
         }
     }
 
@@ -310,8 +416,8 @@ impl Evaluator for AllInterval {
 mod tests {
     use super::*;
     use crate::test_support::{
-        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
-        check_projection_cache,
+        assert_no_default_hot_paths, check_batched_probes, check_error_projection,
+        check_incremental_consistency, check_projection_cache,
     };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
@@ -392,6 +498,13 @@ mod tests {
             let out = engine.solve(&mut p, &mut default_rng(50 + n as u64));
             assert!(out.solved(), "n = {n} not solved: {out:?}");
             assert!(p.verify(&out.solution));
+        }
+    }
+
+    #[test]
+    fn batched_probes_match_the_scalar_probe() {
+        for n in [2usize, 3, 5, 12, 50] {
+            check_batched_probes(AllInterval::new(n), 7300 + n as u64, 12);
         }
     }
 

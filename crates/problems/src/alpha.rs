@@ -285,6 +285,7 @@ impl Evaluator for AlphaCipher {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: false,
+            batched_probes: false,
         }
     }
 

@@ -144,6 +144,7 @@ impl Evaluator for Langford {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: false,
+            batched_probes: false,
         }
     }
 

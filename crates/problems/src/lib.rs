@@ -56,7 +56,7 @@ pub(crate) mod test_support {
     //! the exact same checks; this alias keeps the problem tests' imports
     //! stable.
     pub use cbls_core::consistency::{
-        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
-        check_projection_cache,
+        assert_no_default_hot_paths, check_batched_probes, check_error_projection,
+        check_incremental_consistency, check_projection_cache,
     };
 }

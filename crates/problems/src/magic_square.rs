@@ -330,6 +330,7 @@ impl Evaluator for MagicSquare {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: true,
+            batched_probes: false,
         }
     }
 

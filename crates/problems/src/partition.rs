@@ -205,6 +205,7 @@ impl Evaluator for NumberPartitioning {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: true,
+            batched_probes: false,
         }
     }
 

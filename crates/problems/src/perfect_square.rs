@@ -372,6 +372,7 @@ impl Evaluator for PerfectSquare {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: true,
+            batched_probes: false,
         }
     }
 

@@ -184,6 +184,44 @@ impl Evaluator for NQueens {
         cost
     }
 
+    fn cost_if_swaps(
+        &self,
+        perm: &[usize],
+        current_cost: i64,
+        i: usize,
+        js: &[usize],
+        out: &mut [i64],
+    ) {
+        assert_eq!(js.len(), out.len(), "cost_if_swaps: js/out length mismatch");
+        // Replays the scalar probe's four adjustments per family with the
+        // pending-list corrections resolved algebraically.  Removing queen
+        // (i, perm[i]) is shared by every probe of the row; the only
+        // diagonal collisions possible in a permutation are
+        // `up(i,pi)==up(j,pj)` / `down(j,pi)==down(i,pj)` (both ⇔
+        // `i+pi == j+pj`) and their mirror pair (⇔ `j+pi == i+pj`).
+        let pi = perm[i];
+        let rm_i = -(i64::from(self.diag_up[self.up(i, pi)]) - 1)
+            - (i64::from(self.diag_down[self.down(i, pi)]) - 1);
+        for (k, &j) in js.iter().enumerate() {
+            if j == i || perm[j] == pi {
+                out[k] = current_cost;
+                continue;
+            }
+            let pj = perm[j];
+            let e_plus = i64::from(j + pi == i + pj);
+            let e_minus = i64::from(i + pi == j + pj);
+            let d_up = -(i64::from(self.diag_up[self.up(j, pj)]) - e_minus - 1)
+                + i64::from(self.diag_up[self.up(i, pj)])
+                + i64::from(self.diag_up[self.up(j, pi)])
+                + e_plus;
+            let d_down = -(i64::from(self.diag_down[self.down(j, pj)]) - e_plus - 1)
+                + i64::from(self.diag_down[self.down(i, pj)])
+                + i64::from(self.diag_down[self.down(j, pi)])
+                + e_minus;
+            out[k] = current_cost + rm_i + d_up + d_down;
+        }
+    }
+
     fn executed_swap(&mut self, perm: &[usize], i: usize, j: usize) {
         if i == j {
             return;
@@ -244,6 +282,7 @@ impl Evaluator for NQueens {
             incremental_executed_swap: true,
             tracked_dirty_sets: true,
             batched_projection: false,
+            batched_probes: true,
         }
     }
 
@@ -282,8 +321,8 @@ impl Evaluator for NQueens {
 mod tests {
     use super::*;
     use crate::test_support::{
-        assert_no_default_hot_paths, check_error_projection, check_incremental_consistency,
-        check_projection_cache,
+        assert_no_default_hot_paths, check_batched_probes, check_error_projection,
+        check_incremental_consistency, check_projection_cache,
     };
     use as_rng::default_rng;
     use cbls_core::AdaptiveSearch;
@@ -318,6 +357,13 @@ mod tests {
     fn incremental_consistency() {
         for n in [4usize, 6, 9, 16] {
             check_incremental_consistency(NQueens::new(n), 700 + n as u64, 25);
+        }
+    }
+
+    #[test]
+    fn batched_probes_match_the_scalar_probe() {
+        for n in [4usize, 6, 9, 16, 33] {
+            check_batched_probes(NQueens::new(n), 7100 + n as u64, 12);
         }
     }
 

@@ -37,6 +37,8 @@ fn sweep(benchmark: &Benchmark) {
     // Engine-owned buffers, preallocated exactly like `solve_inner` does.
     let mut touched: Vec<usize> = Vec::with_capacity(8 * n + 64);
     let mut errors = vec![0i64; n];
+    let js: Vec<usize> = (0..n).collect();
+    let mut probes = vec![0i64; n];
 
     // Pre-draw the swap sequence: the RNG itself is out of scope here.
     let pairs: Vec<(usize, usize)> = (0..2 * SWAPS)
@@ -50,7 +52,12 @@ fn sweep(benchmark: &Benchmark) {
                      cost: &mut i64,
                      pairs: &[(usize, usize)]| {
         for &(i, j) in pairs {
+            // A full batched probe row first: the engine's candidate scan
+            // runs `cost_if_swaps` under the same alloc-free contract, and
+            // the row must agree with the scalar probe it replaces.
+            evaluator.cost_if_swaps(perm, *cost, i, &js, &mut probes);
             let predicted = evaluator.cost_if_swap(perm, *cost, i, j);
+            assert_eq!(probes[j], predicted);
             perm.swap(i, j);
             evaluator.executed_swap(perm, i, j);
             *cost = predicted;
