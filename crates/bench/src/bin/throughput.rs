@@ -108,6 +108,32 @@ fn main() {
         );
     }
 
+    let service = &report.service_throughput;
+    println!(
+        "{:<24} {:>12.2} requests/sec  ({} requests, {} workers, {} solved, direct-match: {})",
+        "service:burst",
+        service.requests_per_sec,
+        service.requests,
+        service.workers,
+        service.solved,
+        service.winners_match_direct,
+    );
+
+    // The service acceptance bar, enforced in quick mode too: a concurrent
+    // burst of at least 4 requests must all complete, and every winner must
+    // be bit-identical to a direct sequential replay of the job's batch —
+    // multiplexing may never change results, on any machine.
+    assert!(
+        service.requests >= 4 && service.completed == service.requests,
+        "service burst lost jobs: {} of {} completed",
+        service.completed,
+        service.requests,
+    );
+    assert!(
+        service.winners_match_direct,
+        "service results diverged from direct executor runs"
+    );
+
     // The batched-probe acceptance bar, enforced in quick mode too (the CI
     // throughput step runs --quick on every PR): the two suites the batching
     // work targeted must hold a reproducible speedup over the pre-batching

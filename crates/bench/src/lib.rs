@@ -23,7 +23,9 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod service_load;
 pub mod throughput;
 
 pub use experiment::{ExperimentConfig, SequentialSample};
+pub use service_load::{measure_service_throughput, ServiceThroughputResult};
 pub use throughput::{EngineThroughputReport, ThroughputConfig};

@@ -1,0 +1,136 @@
+//! Service-level throughput: how many concurrent solve requests the
+//! `cbls-service` layer completes per second, and whether multiplexing
+//! preserved the executor's bit-reproducibility contract.
+//!
+//! The measurement drives a [`SolveService`] the way a multi-tenant client
+//! would: a burst of requests across several benchmarks is admitted before
+//! any completes, the pool drains them, and every result is then audited
+//! against a direct [`SequentialExecutor`] run of the same batch
+//! ([`SolveService::batch_for`] is the replay path).  `winners_match_direct`
+//! must hold on every machine — it is a determinism check, not a
+//! performance number — while `requests_per_sec` records the multiplexing
+//! throughput into `BENCH_engine.json`.
+
+use cbls_parallel::{SequentialExecutor, WalkExecutor};
+use cbls_problems::Benchmark;
+use cbls_service::{ServiceConfig, SolveRequest, SolveService};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::throughput::ThroughputConfig;
+
+/// The request mix of the measurement: fast-solving instances from three
+/// benchmark families, so the burst exercises prototype-cache sharing and
+/// cross-benchmark quoting rather than one hot shape.
+const SERVICE_MIX: [(&str, usize); 4] = [
+    ("queens-16", 4),
+    ("costas-10", 4),
+    ("all-interval-12", 2),
+    ("queens-12", 3),
+];
+
+/// Throughput and determinism of one service burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceThroughputResult {
+    /// Worker threads the service ran.
+    pub workers: usize,
+    /// Requests submitted (all admitted before the first completion).
+    pub requests: usize,
+    /// Requests that completed (must equal `requests`).
+    pub completed: usize,
+    /// Completed requests that solved their instance.
+    pub solved: usize,
+    /// Completions per second over the burst.
+    pub requests_per_sec: f64,
+    /// Whether every job's winner (index, seed, iteration count) matched a
+    /// direct sequential replay of its batch — the bit-reproducibility
+    /// audit.
+    pub winners_match_direct: bool,
+    /// Wall-clock time of the whole burst, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Drive a burst of twice the request mix (8 concurrent requests over four
+/// benchmark shapes) through a 4-worker service and audit every result
+/// against a direct executor run.
+#[must_use]
+pub fn measure_service_throughput(config: &ThroughputConfig) -> ServiceThroughputResult {
+    let workers = 4;
+    let service = SolveService::new(
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(2 * SERVICE_MIX.len() + 1),
+    );
+
+    let requests: Vec<SolveRequest> = (0..2 * SERVICE_MIX.len())
+        .map(|i| {
+            let (bench, walks) = SERVICE_MIX[i % SERVICE_MIX.len()];
+            SolveRequest::new(bench, walks, config.budget).with_master_seed(2012 + i as u64)
+        })
+        .collect();
+
+    let started = Instant::now();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            service
+                .submit(request.clone())
+                .expect("burst fits the queue")
+        })
+        .collect();
+    let completions: Vec<_> = handles
+        .into_iter()
+        .filter_map(cbls_service::JobHandle::wait)
+        .collect();
+    let elapsed = started.elapsed();
+
+    let mut winners_match_direct = true;
+    for (request, completed) in requests.iter().zip(&completions) {
+        let batch = service.batch_for(request).expect("known benchmark");
+        let bench = Benchmark::from_id(&request.benchmark).expect("known benchmark");
+        let direct = SequentialExecutor.execute(&|| bench.build(), &batch);
+        let direct_winner = direct.winning_record();
+        let service_winner = completed.execution.execution.winning_record();
+        let matched = match (service_winner, direct_winner) {
+            (Some(s), Some(d)) => {
+                s.walk_id == d.walk_id
+                    && s.seed == d.seed
+                    && s.outcome.stats.iterations == d.outcome.stats.iterations
+            }
+            (None, None) => completed.result.winner == direct.winner,
+            _ => false,
+        };
+        winners_match_direct &= matched;
+    }
+
+    let completed = completions.len();
+    let solved = completions.iter().filter(|c| c.result.solved).count();
+    service.shutdown();
+    ServiceThroughputResult {
+        workers,
+        requests: requests.len(),
+        completed,
+        solved,
+        requests_per_sec: completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        winners_match_direct,
+        wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quick_burst_completes_everything_and_matches_direct_runs() {
+        let result = measure_service_throughput(&ThroughputConfig::quick());
+        assert_eq!(result.requests, 8);
+        assert_eq!(result.completed, 8);
+        assert!(result.requests >= 4, "the burst must be concurrent");
+        assert!(result.winners_match_direct);
+        assert!(result.requests_per_sec > 0.0);
+        let json = serde_json::to_string(&result).unwrap();
+        let back: ServiceThroughputResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

@@ -22,6 +22,8 @@ use cbls_parallel::{
 use cbls_problems::Benchmark;
 use serde::{Deserialize, Serialize};
 
+use crate::service_load::{measure_service_throughput, ServiceThroughputResult};
+
 /// Seed shared by all throughput runs (arbitrary but fixed: the measurement
 /// must be reproducible run-to-run).
 pub const THROUGHPUT_SEED: u64 = 2012;
@@ -139,6 +141,10 @@ pub struct EngineThroughputReport {
     /// of throughput per benchmark; the `events` field holds the heartbeats
     /// the supervised run published.
     pub supervision_overhead: Vec<ExecutorOverheadResult>,
+    /// Multi-tenant service throughput: requests/sec of a concurrent burst
+    /// through `cbls-service`, with every winner audited against a direct
+    /// sequential replay (`winners_match_direct` must hold everywhere).
+    pub service_throughput: ServiceThroughputResult,
 }
 
 /// The acceptance bar for the flight recorder: attaching it may cost at most
@@ -705,6 +711,7 @@ pub fn run_report(config: &ThroughputConfig, mode: &str) -> EngineThroughputRepo
             .iter()
             .map(|b| measure_supervision_overhead(b, config))
             .collect(),
+        service_throughput: measure_service_throughput(config),
     }
 }
 
@@ -781,6 +788,11 @@ mod tests {
         assert_eq!(report.batch_speedup.len(), throughput_suite().len());
         assert_eq!(report.recorder_overhead.len(), throughput_suite().len());
         assert_eq!(report.supervision_overhead.len(), throughput_suite().len());
+        assert_eq!(
+            report.service_throughput.completed,
+            report.service_throughput.requests
+        );
+        assert!(report.service_throughput.winners_match_direct);
         let json = serde_json::to_string(&report).unwrap();
         let back: EngineThroughputReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);

@@ -57,7 +57,7 @@ impl StopControl {
     /// A stop control that fires after `timeout` of wall-clock time.
     #[must_use]
     pub fn with_timeout(timeout: Duration) -> Self {
-        Self::with_deadline(Instant::now() + timeout)
+        Self::with_deadline(monotonic_now() + timeout)
     }
 
     /// A stop control that fires at a fixed monotonic `deadline`.
@@ -90,7 +90,7 @@ impl StopControl {
     /// Attach a wall-clock deadline to this control.
     #[must_use]
     pub fn and_timeout(self, timeout: Duration) -> Self {
-        self.and_deadline(Instant::now() + timeout)
+        self.and_deadline(monotonic_now() + timeout)
     }
 
     /// Attach a fixed monotonic deadline to this control.
@@ -130,7 +130,7 @@ impl StopControl {
     #[must_use]
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline
-            .map(|d| d.saturating_duration_since(Instant::now()))
+            .map(|d| d.saturating_duration_since(monotonic_now()))
     }
 
     /// Whether the deadline (and only the deadline — the flag is ignored)
@@ -138,7 +138,7 @@ impl StopControl {
     #[must_use]
     pub fn deadline_passed(&self) -> bool {
         match self.deadline {
-            Some(d) => Instant::now() >= d,
+            Some(d) => monotonic_now() >= d,
             None => false,
         }
     }
@@ -240,14 +240,14 @@ mod tests {
         assert!(no_deadline.remaining().is_none());
         assert!(!no_deadline.deadline_passed());
 
-        let deadline = Instant::now() + Duration::from_secs(3600);
+        let deadline = monotonic_now() + Duration::from_secs(3600);
         let c = StopControl::with_deadline(deadline);
         assert_eq!(c.deadline(), Some(deadline));
         assert!(!c.deadline_passed());
         assert!(c.remaining().unwrap() <= Duration::from_secs(3600));
         assert!(c.remaining().unwrap() > Duration::from_secs(3590));
 
-        let past = StopControl::with_deadline(Instant::now() - Duration::from_millis(1));
+        let past = StopControl::with_deadline(monotonic_now() - Duration::from_millis(1));
         assert!(past.deadline_passed());
         assert!(past.should_stop());
         assert_eq!(past.remaining(), Some(Duration::ZERO));
@@ -259,7 +259,7 @@ mod tests {
     fn and_deadline_attaches_to_a_shared_flag() {
         let flag = Arc::new(AtomicBool::new(false));
         let c = StopControl::with_shared_flag(Arc::clone(&flag))
-            .and_deadline(Instant::now() - Duration::from_millis(1));
+            .and_deadline(monotonic_now() - Duration::from_millis(1));
         assert!(c.should_stop());
         assert!(
             // Acquire: would observe any Release store; none must have happened.

@@ -20,3 +20,7 @@ fn mentions_in_text_do_not_fire() {
     let _doc = "call Instant::now() at your peril";
     // a comment saying Instant::now() is also fine
 }
+
+fn monotonic_now() -> Instant {
+    Instant::now() // line 25: the funnel body — exempt only under the stop.rs path
+}

@@ -72,6 +72,22 @@ fn no_alloc_hot_path_guards_recording_methods() {
 }
 
 #[test]
+fn no_alloc_hot_path_guards_the_service_admission_decision() {
+    let findings = lint_fixture("service_admission.rs");
+    // One finding per seeded allocation inside the `admit` impl method,
+    // nothing from the near-miss helper (`admittance`), the escaped impl or
+    // the free function of the same name.
+    assert_eq!(
+        rule_lines(&findings, rules::NO_ALLOC_HOT_PATH),
+        vec![13, 14],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 2, "findings: {findings:#?}");
+    assert!(rules::is_hot_path_fn("admit"));
+    assert!(!rules::is_hot_path_fn("admittance"));
+}
+
+#[test]
 fn no_alloc_hot_path_escapes_and_trait_defaults_are_clean() {
     let findings = lint_fixture("no_alloc_hot_path.rs");
     // The `Allowed` impl (escaped) and the trait default body contribute
@@ -86,12 +102,14 @@ fn no_alloc_hot_path_escapes_and_trait_defaults_are_clean() {
 #[test]
 fn wallclock_rule_fires_outside_stop_and_bench() {
     let findings = lint_fixture("wallclock.rs");
+    // A function merely *named* `monotonic_now` (line 25) gets no exemption
+    // outside the stop module — the funnel is both path- and name-scoped.
     assert_eq!(
         rule_lines(&findings, rules::NO_WALLCLOCK_OUTSIDE_STOP),
-        vec![6, 10],
+        vec![6, 10, 25],
         "findings: {findings:#?}"
     );
-    assert_eq!(findings.len(), 2);
+    assert_eq!(findings.len(), 3);
 }
 
 #[test]
@@ -100,16 +118,25 @@ fn wallclock_rule_respects_the_exempt_files() {
         .join("fixtures")
         .join("wallclock.rs");
     let source = std::fs::read_to_string(path).unwrap();
-    // The same source reported under an exempt path yields no wall-clock
-    // findings (the escape comment then goes unused, which is fine).
-    for exempt in ["crates/core/src/stop.rs", "crates/bench/src/throughput.rs"] {
-        let findings = cbls_lint::lint_source(exempt, &source);
-        assert_eq!(
-            rule_lines(&findings, rules::NO_WALLCLOCK_OUTSIDE_STOP),
-            Vec::<u32>::new(),
-            "{exempt} must be exempt"
-        );
-    }
+    // The bench crate stays blanket-exempt: measurement code times things.
+    let findings = cbls_lint::lint_source("crates/bench/src/throughput.rs", &source);
+    assert_eq!(
+        rule_lines(&findings, rules::NO_WALLCLOCK_OUTSIDE_STOP),
+        Vec::<u32>::new(),
+        "bench must be exempt"
+    );
+    // The stop module is only *structurally* exempt: the `monotonic_now`
+    // body (line 25) is the single permitted call site, while the same
+    // calls elsewhere in the file still fire — this is the regression shape
+    // that let `remaining`/`deadline_passed` bypass the funnel unnoticed.
+    assert!(rules::wallclock_funnel_file("crates/core/src/stop.rs"));
+    assert!(!rules::wallclock_exempt("crates/core/src/stop.rs"));
+    let findings = cbls_lint::lint_source("crates/core/src/stop.rs", &source);
+    assert_eq!(
+        rule_lines(&findings, rules::NO_WALLCLOCK_OUTSIDE_STOP),
+        vec![6, 10],
+        "only the funnel body is exempt under stop.rs: {findings:#?}"
+    );
 }
 
 #[test]

@@ -35,6 +35,7 @@ mod chrome;
 mod metrics;
 mod portfolio;
 mod recorder;
+mod service;
 mod summary;
 mod trace;
 
@@ -47,6 +48,7 @@ pub use metrics::{
 };
 pub use portfolio::PortfolioMetrics;
 pub use recorder::{FlightRecorder, RecorderConfig};
+pub use service::ServiceMetrics;
 pub use summary::{render_diff, render_summary};
 pub use trace::{
     summarize, PhaseTotals, TraceEvent, TraceEventKind, TraceMeta, TraceRecording, TraceSummary,

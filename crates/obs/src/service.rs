@@ -1,0 +1,147 @@
+//! Metrics for the solve service: the standard instrument set a
+//! [`MetricsRegistry`] carries for a multi-tenant `SolveService`.
+//!
+//! The service crate sits above this one, so the instruments know nothing
+//! about requests or queues — they are plain handles the service feeds from
+//! its admission and completion paths.  Every update method is alloc-free
+//! (atomic operations on pre-registered handles), making them safe to call
+//! from the admission decision and per-event streaming hot paths that
+//! `cbls-lint`'s `no-alloc-hot-path` rule guards.
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Service-level instruments, registered once per service and fed per job.
+///
+/// ```
+/// use cbls_obs::{MetricsRegistry, ServiceMetrics};
+///
+/// let mut registry = MetricsRegistry::new();
+/// let metrics = ServiceMetrics::register(&mut registry);
+/// metrics.job_admitted(1);
+/// metrics.job_completed(42, true, false);
+/// metrics.job_rejected();
+///
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counter("service.jobs_admitted"), Some(1));
+/// assert_eq!(snapshot.counter("service.jobs_rejected"), Some(1));
+/// assert_eq!(snapshot.histogram("service.job_latency_ms").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    queue_depth: Gauge,
+    admitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    solved: Counter,
+    degraded: Counter,
+    job_latency_ms: Histogram,
+}
+
+impl ServiceMetrics {
+    /// Register the service instrument set in `registry`.
+    ///
+    /// Instruments: gauge `service.queue_depth` (jobs waiting for a
+    /// worker); counters `service.jobs_admitted`, `service.jobs_rejected`
+    /// (admission-queue rejects), `service.jobs_completed`,
+    /// `service.jobs_solved`, `service.jobs_degraded` (completed with a
+    /// [`DegradationReason`](cbls_parallel::DegradationReason)); histogram
+    /// `service.job_latency_ms` (submit-to-completion wall time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of those names is already registered (duplicate
+    /// registration).
+    #[must_use]
+    pub fn register(registry: &mut MetricsRegistry) -> Self {
+        let metrics = Self {
+            queue_depth: registry.gauge("service.queue_depth"),
+            admitted: registry.counter("service.jobs_admitted"),
+            rejected: registry.counter("service.jobs_rejected"),
+            completed: registry.counter("service.jobs_completed"),
+            solved: registry.counter("service.jobs_solved"),
+            degraded: registry.counter("service.jobs_degraded"),
+            job_latency_ms: registry.histogram(
+                "service.job_latency_ms",
+                &[1, 10, 100, 1_000, 10_000, 100_000],
+            ),
+        };
+        // A gauge starts at i64::MAX (running-minimum convention); an empty
+        // service has an empty queue, so pin the level before first use.
+        metrics.queue_depth.set(0);
+        metrics
+    }
+
+    /// A job passed admission; `depth` is the queue depth just after it was
+    /// enqueued.
+    pub fn job_admitted(&self, depth: usize) {
+        self.admitted.inc();
+        self.set_queue_depth(depth);
+    }
+
+    /// A job was rejected at admission (queue full, unknown benchmark, ...).
+    pub fn job_rejected(&self) {
+        self.rejected.inc();
+    }
+
+    /// A worker dequeued a job; `depth` is the queue depth just after.
+    pub fn job_dequeued(&self, depth: usize) {
+        self.set_queue_depth(depth);
+    }
+
+    /// A job ran to completion (possibly degraded — that is still a
+    /// completion under the anytime contract).
+    pub fn job_completed(&self, latency_ms: u64, solved: bool, degraded: bool) {
+        self.completed.inc();
+        if solved {
+            self.solved.inc();
+        }
+        if degraded {
+            self.degraded.inc();
+        }
+        self.job_latency_ms.record(latency_ms);
+    }
+
+    fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth
+            .set(i64::try_from(depth).unwrap_or(i64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_accumulate_per_job() {
+        let mut registry = MetricsRegistry::new();
+        let metrics = ServiceMetrics::register(&mut registry);
+        assert_eq!(registry.snapshot().gauge("service.queue_depth"), Some(0));
+
+        metrics.job_admitted(1);
+        metrics.job_admitted(2);
+        metrics.job_rejected();
+        metrics.job_dequeued(1);
+        metrics.job_completed(5, true, false);
+        metrics.job_dequeued(0);
+        metrics.job_completed(2_000, false, true);
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("service.jobs_admitted"), Some(2));
+        assert_eq!(snapshot.counter("service.jobs_rejected"), Some(1));
+        assert_eq!(snapshot.counter("service.jobs_completed"), Some(2));
+        assert_eq!(snapshot.counter("service.jobs_solved"), Some(1));
+        assert_eq!(snapshot.counter("service.jobs_degraded"), Some(1));
+        assert_eq!(snapshot.gauge("service.queue_depth"), Some(0));
+        let latency = snapshot.histogram("service.job_latency_ms").unwrap();
+        assert_eq!(latency.count, 2);
+        assert_eq!(latency.sum, 2_005);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate gauge")]
+    fn double_registration_is_rejected() {
+        let mut registry = MetricsRegistry::new();
+        let _a = ServiceMetrics::register(&mut registry);
+        let _b = ServiceMetrics::register(&mut registry);
+    }
+}

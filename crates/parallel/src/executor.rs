@@ -156,12 +156,14 @@ impl WalkBatch {
     /// A batch running `jobs[i]` as walk `i`, with first-finisher stop
     /// semantics and no timeout.
     ///
-    /// # Panics
-    ///
-    /// Panics if `jobs` is empty.
+    /// An *empty* batch is legal: executing it returns a well-formed
+    /// [`BatchExecution`] with no records, no winner and no incumbent.  The
+    /// service layer builds batches straight from client requests, so the
+    /// degenerate shapes a hostile request can describe (zero walks, a zero
+    /// iteration budget, an already-expired deadline) must all execute
+    /// cleanly instead of panicking a worker.
     #[must_use]
     pub fn new(seeds: WalkSeeds, jobs: Vec<WalkJob>) -> Self {
-        assert!(!jobs.is_empty(), "a walk batch needs at least one walk");
         Self {
             seeds,
             jobs,
@@ -172,15 +174,25 @@ impl WalkBatch {
     }
 
     /// A batch of `walks` identical jobs (the paper's homogeneous scheme).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `walks` is zero.
+    /// Like [`new`](Self::new), `walks == 0` yields a legal empty batch.
     #[must_use]
     pub fn uniform(master_seed: u64, search: &SearchConfig, walks: usize) -> Self {
-        assert!(walks > 0, "a walk batch needs at least one walk");
         let jobs = (0..walks).map(|_| WalkJob::new(search.clone())).collect();
         Self::new(WalkSeeds::new(master_seed), jobs)
+    }
+
+    /// This batch's jobs, timeout and stop semantics under a fresh seed
+    /// family.  This is the batch-handle reuse path for concurrent callers:
+    /// a server builds (and validates) one prototype batch per job shape,
+    /// then derives a per-request batch from it with the request's master
+    /// seed — no job list is re-built, and two callers reseeding the same
+    /// prototype share nothing mutable.
+    #[must_use]
+    pub fn reseeded(&self, master_seed: u64) -> Self {
+        Self {
+            seeds: WalkSeeds::new(master_seed),
+            ..self.clone()
+        }
     }
 
     /// Attach a wall-clock timeout.  The executor converts it into a single
@@ -1062,8 +1074,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one walk")]
-    fn empty_batch_is_rejected() {
-        let _ = WalkBatch::new(WalkSeeds::new(1), Vec::new());
+    fn empty_batch_executes_to_an_empty_result() {
+        let batch = WalkBatch::new(WalkSeeds::new(1), Vec::new());
+        assert_eq!(batch.walks(), 0);
+        let execution = SequentialExecutor.execute(&|| Sort(8), &batch);
+        assert!(execution.records.is_empty());
+        assert_eq!(execution.winner, None);
+        assert!(execution.incumbent.is_none());
+        assert_eq!(execution.degradation, None);
+        assert!(!execution.is_partial());
+    }
+
+    #[test]
+    fn reseeded_batches_share_shape_but_not_seeds() {
+        let proto = WalkBatch::uniform(5, &SearchConfig::default(), 3)
+            .with_timeout(Duration::from_secs(1))
+            .run_to_completion()
+            .with_winner_rule(WinnerRule::IterationsFirst);
+        let derived = proto.reseeded(99);
+        assert_eq!(derived.walks(), proto.walks());
+        assert_eq!(derived.timeout(), proto.timeout());
+        assert_eq!(derived.winner_rule(), proto.winner_rule());
+        assert_eq!(
+            derived.stops_on_first_success(),
+            proto.stops_on_first_success()
+        );
+        assert_eq!(derived.seeds(), WalkSeeds::new(99));
+        assert_ne!(derived.seeds(), proto.seeds());
+        // same seed in, bit-identical seed family out
+        assert_eq!(proto.reseeded(5).seeds(), proto.seeds());
     }
 }

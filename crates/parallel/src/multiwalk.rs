@@ -153,9 +153,12 @@ impl WalkOutcome for WalkReport {
 }
 
 /// The walk batch a [`MultiWalkConfig`] describes: `walks` identical jobs
-/// under first-finisher stop semantics.  (`WalkBatch::new` rejects an empty
-/// job list, so `walks == 0` panics there.)
+/// under first-finisher stop semantics.  (`WalkBatch` itself accepts empty
+/// batches for the service layer's hostile-request shapes, but a
+/// `MultiWalkConfig` of zero walks is a caller bug, so this high-level
+/// entry point still rejects it.)
 fn batch_of(config: &MultiWalkConfig) -> WalkBatch {
+    assert!(config.walks > 0, "a multi-walk run needs at least one walk");
     let jobs = (0..config.walks)
         .map(|_| WalkJob::new(config.search.clone()))
         .collect();

@@ -31,6 +31,6 @@ mod platform;
 pub mod report;
 mod speedup_model;
 
-pub use distribution::{DistributionAccumulator, EmpiricalDistribution};
+pub use distribution::{DistributionAccumulator, EmpiricalDistribution, RuntimeQuote};
 pub use platform::{Platform, PlatformKind};
 pub use speedup_model::{PredictedPoint, SpeedupModel, SpeedupPrediction};

@@ -1,0 +1,128 @@
+//! The bounded admission queue: capacity enforcement and the fairness
+//! policies that decide which waiting job a freed worker picks next.
+//!
+//! Admission is a two-gate pipeline.  The first gate is *validation* (an
+//! unknown benchmark id can never run, so it is rejected before touching the
+//! queue); the second is *capacity* — the alloc-free
+//! [`AdmissionPolicy::admit`] decision guarded by `cbls-lint`'s
+//! `no-alloc-hot-path` rule, so a burst of rejected requests costs nothing
+//! but an atomic counter bump per request.
+//!
+//! Dequeue order is a [`Fairness`] policy.  FIFO is the throughput-neutral
+//! default; smallest-quoted-first uses the runtime quotes `cbls-perfmodel`
+//! derives from completed jobs to let short jobs overtake long ones — the
+//! classic shortest-job-first latency win, bounded here by the queue
+//! capacity so long jobs cannot starve indefinitely (a full queue admits
+//! nothing new to overtake them).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::service::QueuedJob;
+
+/// Which waiting job a freed worker dequeues next.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fairness {
+    /// Strict arrival order.
+    #[default]
+    Fifo,
+    /// The job with the smallest quoted expected runtime first; jobs
+    /// without a quote (no history yet for their benchmark) queue behind
+    /// quoted ones, ties broken by arrival order.
+    SmallestQuotedFirst,
+}
+
+/// Why a [`SolveRequest`](crate::SolveRequest) was rejected at admission.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionError {
+    /// The admission queue is at capacity; retry after a completion frees a
+    /// slot.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request names a benchmark id the catalog cannot parse.
+    UnknownBenchmark {
+        /// The offending id, echoed back.
+        id: String,
+    },
+    /// The service is shutting down and admits nothing new.
+    ServiceClosed,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            AdmissionError::UnknownBenchmark { id } => {
+                write!(f, "unknown benchmark id {id:?}")
+            }
+            AdmissionError::ServiceClosed => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The capacity gate of the admission pipeline.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AdmissionPolicy {
+    capacity: usize,
+}
+
+impl AdmissionPolicy {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self { capacity }
+    }
+
+    pub(crate) fn capacity(self) -> usize {
+        self.capacity
+    }
+
+    /// The admission decision for a queue currently holding `depth` jobs.
+    ///
+    /// This is the per-request hot path (a rejected burst runs nothing
+    /// else), so it must stay alloc-free — `cbls-lint` guards the body.
+    pub(crate) fn admit(self, depth: usize) -> bool {
+        depth < self.capacity
+    }
+}
+
+/// The waiting line plus the closed flag, guarded by the service's mutex.
+#[derive(Debug, Default)]
+pub(crate) struct QueueState {
+    pub(crate) jobs: VecDeque<QueuedJob>,
+    pub(crate) closed: bool,
+}
+
+impl QueueState {
+    /// Dequeue the next job under `fairness`, or `None` when the queue is
+    /// empty.
+    pub(crate) fn pop_next(&mut self, fairness: Fairness) -> Option<QueuedJob> {
+        match fairness {
+            Fairness::Fifo => self.jobs.pop_front(),
+            Fairness::SmallestQuotedFirst => {
+                let idx = self
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .min_by(|(ia, a), (ib, b)| {
+                        quote_key(a).total_cmp(&quote_key(b)).then(ia.cmp(ib))
+                    })
+                    .map(|(i, _)| i)?;
+                self.jobs.remove(idx)
+            }
+        }
+    }
+}
+
+/// The sort key smallest-quoted-first minimizes: the quoted expected
+/// iterations, with unquoted jobs ordered last (`f64::INFINITY` under
+/// [`f64::total_cmp`] sorts after every finite quote).
+fn quote_key(job: &QueuedJob) -> f64 {
+    job.quote_expected.unwrap_or(f64::INFINITY)
+}

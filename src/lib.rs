@@ -36,6 +36,9 @@
 //!   strategy portfolios and the adaptive walk scheduler;
 //! * [`resilience`] (`cbls-resilience`) — supervised execution: stall
 //!   watchdog, deterministic retries and the chaos fault-injection harness;
+//! * [`service`] (`cbls-service`) — the concurrent solve-job service:
+//!   bounded admission, quoted fairness and the versioned progress wire
+//!   format;
 //! * [`propagation`] (`cbls-propagation`) — the backtracking baseline;
 //! * [`perfmodel`] (`cbls-perfmodel`) — runtime distributions and platform
 //!   models;
@@ -54,6 +57,7 @@ pub use cbls_portfolio as portfolio;
 pub use cbls_problems as problems;
 pub use cbls_propagation as propagation;
 pub use cbls_resilience as resilience;
+pub use cbls_service as service;
 
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
@@ -91,5 +95,9 @@ pub mod prelude {
     pub use cbls_resilience::{
         ChaosFactory, FaultPlan, FaultSpec, FaultWindow, RetryOutcome, RetryPolicy,
         SupervisedExecution, Supervisor, WatchdogConfig,
+    };
+    pub use cbls_service::{
+        AdmissionError, CompletedJob, Fairness, JobEvent, JobHandle, JobResult, ProgressFrame,
+        ServiceConfig, SolveRequest, SolveService, WIRE_SCHEMA,
     };
 }

@@ -1,0 +1,138 @@
+//! Workspace-level tests of the solve service: concurrent multi-tenant
+//! submission through the facade, bit-identical winners against a direct
+//! executor run, hostile request shapes, and the versioned wire stream.
+
+use parallel_cbls::prelude::*;
+use parallel_cbls::service::{JobEvent, ProgressFrame};
+
+fn service(workers: usize) -> SolveService {
+    SolveService::new(
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(32),
+    )
+}
+
+#[test]
+fn four_concurrent_requests_match_direct_executor_runs_bit_for_bit() {
+    let service = service(4);
+    let requests: Vec<SolveRequest> = [
+        ("queens-16", 4, 200_000),
+        ("costas-10", 4, 200_000),
+        ("all-interval-12", 2, 200_000),
+        ("queens-12", 3, 100_000),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(bench, walks, budget))| {
+        SolveRequest::new(bench, walks, budget).with_master_seed(2012 + i as u64)
+    })
+    .collect();
+
+    // Everything in flight before anything is awaited: genuinely concurrent.
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|request| service.submit(request.clone()).expect("admitted"))
+        .collect();
+
+    for (request, handle) in requests.iter().zip(handles) {
+        let direct_batch = service.batch_for(request).expect("known benchmark");
+        let completed = handle.wait().expect("job ran");
+        assert!(completed.result.solved, "{} unsolved", request.benchmark);
+
+        let bench = Benchmark::from_id(&request.benchmark).expect("known benchmark");
+        let direct = SequentialExecutor.execute(&|| bench.build(), &direct_batch);
+        assert_eq!(
+            completed.result.winner, direct.winner,
+            "{}",
+            request.benchmark
+        );
+        let service_record = completed
+            .execution
+            .execution
+            .winning_record()
+            .expect("solved");
+        let direct_record = direct.winning_record().expect("solved");
+        assert_eq!(service_record.seed, direct_record.seed);
+        assert_eq!(
+            service_record.outcome.stats.iterations,
+            direct_record.outcome.stats.iterations
+        );
+        assert_eq!(
+            service_record.outcome.solution,
+            direct_record.outcome.solution
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn hostile_request_shapes_degrade_to_well_formed_results() {
+    let service = service(2);
+
+    let unknown = service
+        .submit(SolveRequest::new("not-a-benchmark", 1, 1_000))
+        .expect_err("unknown id must be rejected");
+    assert!(matches!(unknown, AdmissionError::UnknownBenchmark { .. }));
+
+    let zero_walks = service
+        .submit(SolveRequest::new("queens-12", 0, 1_000))
+        .expect("admitted")
+        .wait()
+        .expect("ran");
+    assert!(!zero_walks.result.solved);
+    assert_eq!(zero_walks.result.best_cost, None);
+
+    let zero_budget = service
+        .submit(SolveRequest::new("queens-12", 2, 0))
+        .expect("admitted")
+        .wait()
+        .expect("ran");
+    assert!(!zero_budget.result.solved);
+    assert!(zero_budget.result.best_cost.is_some(), "anytime incumbent");
+
+    // An expired deadline on a hard instance: the job completes as a
+    // partial (anytime) result, never as an error.
+    let expired = service
+        .submit(
+            SolveRequest::new("costas-16", 2, u64::MAX / 4)
+                .with_deadline_ms(1)
+                .with_master_seed(7),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("ran");
+    assert!(!expired.result.solved);
+    assert_eq!(
+        expired.result.degradation,
+        Some(DegradationReason::DeadlineExpired)
+    );
+    assert!(expired.result.best_cost.is_some(), "anytime incumbent");
+    service.shutdown();
+}
+
+#[test]
+fn progress_streams_are_versioned_ordered_and_json_round_trippable() {
+    let service = service(1);
+    let mut handle = service
+        .submit(SolveRequest::new("queens-12", 2, 100_000).with_master_seed(3))
+        .expect("admitted");
+    let mut frames = Vec::new();
+    while let Some(frame) = handle.next_frame() {
+        frames.push(frame);
+    }
+    assert!(frames.len() >= 4, "frames: {frames:#?}");
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.schema, WIRE_SCHEMA);
+        assert_eq!(frame.seq, i as u64);
+        let line = frame.to_json();
+        let parsed: ProgressFrame = serde_json::from_str(&line).expect("frame parses back");
+        assert_eq!(&parsed, frame);
+    }
+    assert!(matches!(frames[0].event, JobEvent::Admitted { .. }));
+    assert!(matches!(
+        frames.last().expect("nonempty").event,
+        JobEvent::Completed { .. }
+    ));
+    service.shutdown();
+}

@@ -255,3 +255,104 @@ fn select_winner_is_shared_across_report_types() {
     let hetero = run_portfolio_threads(&|| CostasArray::new(9), &portfolio);
     assert_eq!(select_winner(&hetero.reports), hetero.winner);
 }
+
+/// The three degenerate batch shapes a hostile solve request can describe —
+/// zero walks, a zero iteration budget, an already-expired deadline — must
+/// execute to a well-formed `BatchExecution` on every back-end instead of
+/// panicking the worker that runs them.  This is the contract the service
+/// layer's admission path relies on: validate nothing it does not have to,
+/// because the executor is total.
+#[test]
+fn degenerate_batches_are_well_formed_on_every_backend() {
+    use parallel_cbls::parallel::BatchExecution;
+
+    fn run_all(batch: &WalkBatch) -> [(&'static str, BatchExecution); 3] {
+        let factory = || NQueens::new(12);
+        [
+            ("threads", ThreadsExecutor.execute(&factory, batch)),
+            ("rayon", RayonExecutor.execute(&factory, batch)),
+            ("sequential", SequentialExecutor.execute(&factory, batch)),
+        ]
+    }
+
+    // Zero walks: an empty but well-formed execution, with no degradation —
+    // nothing was cut short, there was simply nothing to run.
+    let empty = WalkBatch::new(WalkSeeds::new(1), Vec::new());
+    for (label, execution) in run_all(&empty) {
+        assert!(execution.records.is_empty(), "{label}");
+        assert_eq!(execution.winner, None, "{label}");
+        assert!(execution.winning_record().is_none(), "{label}");
+        assert!(execution.incumbent.is_none(), "{label}");
+        assert_eq!(execution.degradation, None, "{label}");
+        assert!(!execution.is_partial(), "{label}");
+    }
+
+    // Zero iteration budget: every walk ends before its first iteration,
+    // reporting budget exhaustion over the initial assignment — not a
+    // timeout, not a fault, no degradation.
+    let jobs = (0..2)
+        .map(|_| WalkJob::new(endless_search()).with_budget(|_| None))
+        .collect();
+    let zero_budget = WalkBatch::new(WalkSeeds::new(2), jobs);
+    for (label, execution) in run_all(&zero_budget) {
+        assert_eq!(execution.records.len(), 2, "{label}");
+        for record in &execution.records {
+            assert_eq!(
+                record.outcome.reason,
+                TerminationReason::IterationBudgetExhausted,
+                "{label}"
+            );
+            assert_eq!(record.outcome.stats.iterations, 0, "{label}");
+            assert!(record.fault.is_none(), "{label}");
+        }
+        assert_eq!(execution.winner, None, "{label}");
+        assert_eq!(execution.degradation, None, "{label}");
+        // even a zero-budget walk evaluates its initial assignment, so the
+        // batch still surfaces an incumbent
+        assert!(execution.incumbent.is_some(), "{label}");
+    }
+
+    // Already-expired deadline: every walk self-cancels at its first stop
+    // poll and the batch degrades to `DeadlineExpired`.
+    let expired = WalkBatch::uniform(3, &endless_search(), 2).with_timeout(Duration::ZERO);
+    for (label, execution) in run_all(&expired) {
+        assert_eq!(execution.records.len(), 2, "{label}");
+        for record in &execution.records {
+            assert_eq!(
+                record.outcome.reason,
+                TerminationReason::TimedOut,
+                "{label}: an expired deadline is a timeout, not a fault"
+            );
+            assert!(record.fault.is_none(), "{label}");
+        }
+        assert_eq!(execution.winner, None, "{label}");
+        assert_eq!(
+            execution.degradation,
+            Some(DegradationReason::DeadlineExpired),
+            "{label}"
+        );
+        assert!(execution.is_partial(), "{label}");
+    }
+}
+
+/// The degenerate shapes stay well-formed under supervision too — the
+/// service layer always runs jobs through `execute_supervised`.
+#[test]
+fn degenerate_batches_survive_supervised_execution() {
+    let empty = WalkBatch::new(WalkSeeds::new(4), Vec::new());
+    let supervision = Supervision::new(0);
+    let execution =
+        SequentialExecutor.execute_supervised(&|| NQueens::new(12), &empty, None, &supervision);
+    assert!(execution.records.is_empty());
+    assert_eq!(execution.degradation, None);
+
+    let expired = WalkBatch::uniform(5, &endless_search(), 2).with_timeout(Duration::ZERO);
+    let supervision = Supervision::new(2);
+    let execution =
+        ThreadsExecutor.execute_supervised(&|| NQueens::new(12), &expired, None, &supervision);
+    assert_eq!(
+        execution.degradation,
+        Some(DegradationReason::DeadlineExpired)
+    );
+    assert!(execution.incumbent.is_some() || execution.records.is_empty());
+}
